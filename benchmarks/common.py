@@ -1,0 +1,97 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's figures/tables (see
+DESIGN.md's per-experiment index).  Each prints the paper-shaped rows
+(visible with ``pytest benchmarks/ --benchmark-only -s`` and collected
+into EXPERIMENTS.md) and asserts the qualitative *shape* — who wins,
+by roughly what factor — since our substrate is a simulator, not the
+authors' hardware.
+
+Two kinds of measurements appear side by side:
+
+* **simulated seconds** — charged by the I/O cost models; these are
+  the quantities Section 6 reasons about;
+* **wall time** — measured by pytest-benchmark on a representative
+  kernel, demonstrating the implementation itself is not the
+  bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.core.backup import BackupPolicy
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+from repro.sim.iomodel import HDD_PROFILE, NULL_PROFILE
+
+
+def fast_db(n_keys: int = 300, **overrides) -> tuple[Database, object]:
+    """Database on free I/O, loaded with ``n_keys`` committed keys."""
+    base = dict(
+        page_size=4096,
+        capacity_pages=2048,
+        buffer_capacity=128,
+        device_profile=NULL_PROFILE,
+        log_profile=NULL_PROFILE,
+        backup_profile=NULL_PROFILE,
+        backup_policy=BackupPolicy(every_n_updates=64),
+    )
+    base.update(overrides)
+    db = Database(EngineConfig(**base))
+    tree = db.create_index()
+    txn = db.begin()
+    for i in range(n_keys):
+        tree.insert(txn, key_of(i), value_of(i, 0))
+    db.commit(txn)
+    db.flush_everything()
+    db.evict_everything()
+    return db, tree
+
+
+def timed_db(n_keys: int = 300, **overrides) -> tuple[Database, object]:
+    """Database on realistic disk profiles (simulated seconds matter)."""
+    overrides.setdefault("device_profile", HDD_PROFILE)
+    overrides.setdefault("log_profile", HDD_PROFILE)
+    overrides.setdefault("backup_profile", HDD_PROFILE)
+    return fast_db(n_keys, **overrides)
+
+
+def key_of(i: int) -> bytes:
+    return b"k%06d" % i
+
+
+def value_of(i: int, version: int) -> bytes:
+    return b"v%d.%d|" % (i, version) + b"x" * 16
+
+
+def leaf_of(db: Database, tree, i: int = 0) -> int:  # noqa: ANN001
+    """Page id of the leaf holding key i; leaves the buffer pool cold."""
+    page, _node = tree._descend(key_of(i), for_write=False)
+    pid = page.page_id
+    db.unfix(pid)
+    db.evict_everything()
+    return pid
+
+
+def print_table(title: str, headers: list[str],
+                rows: list[list[object]]) -> None:
+    """Print one experiment table in a stable, grep-friendly format."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), *(len(_fmt(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    print("  " + " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  " + "-+-".join("-" * w for w in widths))
+    for row in rows:
+        print("  " + " | ".join(_fmt(cell).ljust(w)
+                                for cell, w in zip(row, widths)))
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:,.2f}"
+        return f"{cell:.4f}"
+    return str(cell)

@@ -1,0 +1,121 @@
+"""Figure 1 — failure scopes and possible escalation.
+
+The same injected single-page fault is handled by three engines:
+
+* an SPF engine (the paper's proposal): the fault stays a *single-page
+  failure*; transactions merely wait;
+* a traditional engine: the fault escalates to a *media failure* —
+  every active transaction dies and the whole device is restored;
+* a traditional single-device node: the media failure *is* a system
+  failure — restart plus restore.
+
+The blast radius (transactions aborted, pages unavailable, simulated
+downtime) must grow by orders of magnitude at each escalation step.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import key_of, leaf_of, print_table
+from repro.baselines.media_only import measure_page_fault, traditional_config
+from repro.engine.database import Database
+from repro.sim.iomodel import HDD_PROFILE
+
+
+N_KEYS = 1500
+BIG_VALUE = b"x" * 420  # several records per 4 KiB page -> many pages
+
+
+def build(spf: bool, single_device: bool):
+    """An engine loaded with enough data that the database spans
+    hundreds of pages — media recovery must restore all of them, while
+    single-page recovery touches one."""
+    overrides = dict(capacity_pages=2048, buffer_capacity=128,
+                     device_profile=HDD_PROFILE, log_profile=HDD_PROFILE,
+                     backup_profile=HDD_PROFILE)
+    if spf:
+        from repro.engine.config import EngineConfig
+
+        db = Database(EngineConfig(page_size=4096, **overrides))
+    else:
+        cfg = traditional_config(single_device_node=single_device,
+                                 page_size=4096, **overrides)
+        db = Database(cfg)
+    tree = db.create_index()
+    txn = db.begin()
+    for i in range(N_KEYS):
+        tree.insert(txn, key_of(i), BIG_VALUE)
+    db.commit(txn)
+    db.flush_everything()
+    db.evict_everything()
+    return db, tree
+
+
+def run_scope(spf: bool, single_device: bool):
+    db, tree = build(spf, single_device)
+    backup_id = db.take_full_backup()
+    db.evict_everything()
+    victim = leaf_of(db, tree)
+    # Bystander transactions are active when the fault strikes.
+    bystanders = [db.begin() for _ in range(10)]
+    db.device.inject_bit_rot(victim, nbits=6)
+    outcome = measure_page_fault(db, victim, backup_id)
+    for txn in bystanders:
+        if txn.txn_id in db.tm.active:
+            db.commit(txn)
+    return outcome
+
+
+def run_all():
+    return {
+        "single-page (this paper)": run_scope(spf=True, single_device=False),
+        "media failure (traditional)": run_scope(spf=False, single_device=False),
+        "system failure (single-device node)": run_scope(spf=False,
+                                                         single_device=True),
+    }
+
+
+def test_fig01_escalation_blast_radius(benchmark):
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    spf = outcomes["single-page (this paper)"]
+    media = outcomes["media failure (traditional)"]
+    system = outcomes["system failure (single-device node)"]
+
+    # Only the escalating engines abort transactions.
+    assert spf.transactions_aborted == 0
+    assert media.transactions_aborted == 10
+    assert system.transactions_aborted == 10
+
+    # Only the escalating engines lose device-wide availability.
+    assert spf.pages_unavailable == 0
+    assert media.pages_unavailable == 2048
+    assert system.pages_unavailable == 2048
+
+    # Downtime grows by orders of magnitude at each escalation.
+    assert spf.recovery_seconds < 2.0          # "a second or less"
+    assert media.recovery_seconds > 10 * spf.recovery_seconds
+    assert system.downtime_seconds >= media.downtime_seconds
+
+    print_table(
+        "Figure 1: failure scopes and escalation (same injected fault)",
+        ["scope", "txns aborted", "pages unavailable", "recovery (sim s)",
+         "downtime (sim s)"],
+        [[name, o.transactions_aborted, o.pages_unavailable,
+          o.recovery_seconds, o.downtime_seconds]
+         for name, o in outcomes.items()])
+
+
+def test_fig01_bench_spf_fault_handling(benchmark):
+    """Wall time of handling one fault in the SPF engine."""
+    def setup():
+        db, tree = build(spf=True, single_device=False)
+        victim = leaf_of(db, tree)
+        db.device.inject_bit_rot(victim, nbits=6)
+        return (db, victim), {}
+
+    def handle(db, victim):
+        page = db.pool.fix(victim)
+        db.pool.unfix(victim)
+        return page
+
+    result = benchmark.pedantic(handle, setup=setup, rounds=5)
+    assert result is not None

@@ -1,0 +1,100 @@
+"""Figure 7 — fields and size of the page recovery index.
+
+The paper bounds the PRI at "about 16 bytes per database page or about
+1 permille of the database size ... it seems reasonable to keep the page
+recovery index in memory at all times", while range compression makes
+the common cases far smaller ("a single entry should cover a large
+range of pages").
+
+The experiment measures the index footprint as a database drifts from
+the best case (fresh full backup: one range entry) to the worst case
+(every page individually backed up).
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.common import print_table
+from repro.core.recovery_index import PageRecoveryIndex
+from repro.wal.records import BackupRef
+
+N_PAGES = 50_000
+PAGE_SIZE = 16 * 1024  # the paper's 16 B/page ~ 1 permille implies 16 KiB
+
+
+def run_drift():
+    rng = random.Random(42)
+    pri = PageRecoveryIndex()
+    pri.set_range_backup(0, N_PAGES, BackupRef.full_backup(1), 100)
+    rows = []
+    drifted = 0
+    pages = list(range(N_PAGES))
+    rng.shuffle(pages)
+    checkpoints = [0, 100, 1000, 10_000, N_PAGES]
+    for target in checkpoints:
+        while drifted < target:
+            page = pages[drifted]
+            pri.set_backup(page, BackupRef.page_copy(page), 200)
+            pri.record_write(page, 300)
+            drifted += 1
+        size = pri.estimated_bytes()
+        rows.append([
+            f"{drifted:,} pages individually backed up",
+            pri.range_count,
+            size,
+            size / N_PAGES,
+            1000.0 * size / (N_PAGES * PAGE_SIZE),
+        ])
+    return pri, rows
+
+
+def test_fig07_pri_size(benchmark):
+    pri, rows = benchmark.pedantic(run_drift, rounds=1, iterations=1)
+
+    # Best case: the whole database is one entry.
+    assert rows[0][1] == 1
+    assert rows[0][2] <= 64
+
+    # Worst case: ~16 B/page for backup entries plus the per-page LSNs,
+    # about 1-2 permille of a 16 KiB-page database — "reasonable to
+    # keep in memory at all times".
+    worst = rows[-1]
+    assert worst[3] <= 40.0          # bytes per page, with LSN entries
+    assert worst[4] <= 2.5           # permille of database size
+
+    # Range compression collapses once everything is point entries.
+    assert worst[1] == N_PAGES
+
+    print_table(
+        f"Figure 7: page recovery index size ({N_PAGES:,} pages of "
+        f"{PAGE_SIZE // 1024} KiB)",
+        ["state", "entries", "index bytes", "bytes/page",
+         "permille of DB size"],
+        rows)
+
+
+def test_fig07_bench_lookup(benchmark):
+    """Wall time of one PRI lookup on a large, fragmented index —
+    this sits on every buffer-fault path, so it must be sub-microsecond
+    territory."""
+    pri, _rows = run_drift()
+
+    def lookup():
+        return pri.lookup(25_000)
+
+    entry = benchmark(lookup)
+    assert entry.has_backup
+
+
+def test_fig07_bench_point_update(benchmark):
+    """Wall time of a range-splitting point update."""
+    pri = PageRecoveryIndex()
+    pri.set_range_backup(0, N_PAGES, BackupRef.full_backup(1), 100)
+    counter = [0]
+
+    def update():
+        counter[0] += 7
+        pri.set_backup(counter[0] % N_PAGES, BackupRef.page_copy(1), 200)
+
+    benchmark.pedantic(update, rounds=200, iterations=1)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""A burst of page failures, recovered as a coordinated batch.
+
+Section 5.2 notes that multiple pages may fail at once and that their
+recovery "might be coordinated, e.g., with respect to access to the
+recovery log" — and that in the limit (every page at once) the process
+resembles media recovery.  This example stores a B-tree *and* a heap
+file (the techniques apply to any storage structure), kills a burst of
+pages across both, and compares one-at-a-time recovery against the
+coordinated batch.
+
+Run:  python examples/burst_failure_coordination.py
+"""
+
+from repro import Database, EngineConfig
+from repro.core.backup import BackupPolicy
+from repro.core.coordinated import CoordinatedRecovery
+from repro.core.single_page import SinglePageRecovery
+from repro.errors import PageFailureKind, SinglePageFailure
+from repro.sim.iomodel import HDD_PROFILE
+from repro.wal.log_reader import LogReader
+
+
+def build():
+    db = Database(EngineConfig(
+        page_size=4096, capacity_pages=4096, buffer_capacity=96,
+        device_profile=HDD_PROFILE, log_profile=HDD_PROFILE,
+        backup_profile=HDD_PROFILE,
+        backup_policy=BackupPolicy.disabled()))
+    tree = db.create_index()
+    heap = db.create_heap()
+    txn = db.begin()
+    rids = []
+    for i in range(600):
+        rid = heap.insert(txn, b"document body %06d " % i + b"." * 80)
+        tree.insert(txn, b"doc:%06d" % i, rid.encode())
+        rids.append(rid)
+    db.commit(txn)
+    # Interleaved update traffic builds real per-page chains.
+    txn = db.begin()
+    for v in range(900):
+        i = (v * 197) % 600
+        heap.update(txn, rids[i], b"document body %06d v%d " % (i, v)
+                    + b"." * 70)
+        tree.update(txn, b"doc:%06d" % i, rids[i].encode())
+    db.commit(txn)
+    db.flush_everything()
+    db.evict_everything()
+    return db, tree, heap, rids
+
+
+def burst_victims(db):
+    data_pages = list(range(db.config.data_start, db.allocated_pages()))
+    return data_pages[::3]  # every third page dies
+
+
+def main() -> None:
+    print("== one-at-a-time recovery ==")
+    db, tree, heap, rids = build()
+    victims = burst_victims(db)
+    t0 = db.clock.now
+    log_pages = 0
+    for pid in victims:
+        reader = LogReader(db.log, db.clock, db.config.log_profile, db.stats)
+        recovery = SinglePageRecovery(db.pri, db.backup_store, reader,
+                                      db.device, db.clock, db.stats)
+        recovery.recover(SinglePageFailure(
+            pid, PageFailureKind.DEVICE_READ_ERROR))
+        log_pages += reader.pages_read
+    print(f"  {len(victims)} pages, {log_pages} log-page reads, "
+          f"{db.clock.now - t0:.2f} sim s")
+
+    print("\n== coordinated batch recovery ==")
+    db, tree, heap, rids = build()
+    victims = burst_victims(db)
+    for pid in victims:
+        db.device.inject_read_error(pid)
+    coordinator = CoordinatedRecovery(db.pri, db.backup_store, db.log_reader,
+                                      db.device, db.clock, db.stats)
+    t0 = db.clock.now
+    result = coordinator.recover_many(victims)
+    print(f"  {result.pages_recovered} pages, {result.log_pages_read} "
+          f"log-page reads, {db.clock.now - t0:.2f} sim s")
+    print(f"  records replayed: {result.records_applied}")
+
+    # Everything is intact — index and heap alike.
+    db.evict_everything()
+    from repro.heap.heapfile import RID
+
+    for i in (0, 299, 599):
+        rid = RID.decode(tree.lookup(b"doc:%06d" % i))
+        assert heap.fetch(rid).startswith(b"document body %06d" % i)
+    print("\nall documents readable after the burst; shared log access "
+          "is what the paper's 'coordinated' variant buys.")
+
+
+if __name__ == "__main__":
+    main()

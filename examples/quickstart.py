@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: a database that shrugs off single-page failures.
+
+Builds a small database, injects the three classic storage faults the
+paper's failure class covers — an explicit read error, silent bit rot,
+and a lost write — and shows each one being detected on the normal read
+path and repaired by single-page recovery, with no transaction aborted.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database, EngineConfig
+from repro.core.backup import BackupPolicy
+
+
+def main() -> None:
+    db = Database(EngineConfig(
+        page_size=4096,
+        capacity_pages=1024,
+        buffer_capacity=64,
+        backup_policy=BackupPolicy(every_n_updates=50),
+    ))
+    tree = db.create_index()
+
+    print("== load ==")
+    txn = db.begin()
+    for i in range(500):
+        tree.insert(txn, b"user:%06d" % i, b"balance=%d" % (i * 10))
+    db.commit(txn)
+    print(f"inserted 500 rows; tree depth {tree.depth()}, "
+          f"{db.allocated_pages()} pages allocated")
+
+    # Make everything durable and cold.
+    db.flush_everything()
+    db.evict_everything()
+
+    # Find the page holding one row so we can attack it.
+    page, _node = tree._descend(b"user:000123", for_write=False)
+    victim = page.page_id
+    db.unfix(victim)
+    db.evict_everything()
+
+    print("\n== fault 1: latent sector error (device refuses the read) ==")
+    db.device.inject_read_error(victim)
+    value = tree.lookup(b"user:000123")
+    print(f"lookup still answers: {value!r}")
+    print(f"recoveries so far: {db.stats.get('single_page_recoveries')}, "
+          f"bad blocks quarantined: {len(db.device.bad_blocks)}")
+
+    print("\n== fault 2: silent bit rot (read 'succeeds', bytes are garbage) ==")
+    db.evict_everything()
+    db.device.inject_bit_rot(victim, nbits=8)
+    value = tree.lookup(b"user:000123")
+    print(f"checksum caught it; lookup still answers: {value!r}")
+
+    print("\n== fault 3: lost write (device returns a stale page) ==")
+    db.device.inject_lost_write(victim)
+    txn = db.begin()
+    tree.update(txn, b"user:000123", b"balance=999999")
+    db.commit(txn)
+    db.flush_everything()       # this write is silently dropped
+    db.evict_everything()
+    value = tree.lookup(b"user:000123")
+    print("the PageLSN cross-check against the page recovery index "
+          "caught the stale page;")
+    print(f"lookup returns the committed value: {value!r}")
+
+    print("\n== the scoreboard ==")
+    interesting = ("single_page_recoveries", "page_failures_detected",
+                   "txns_aborted", "device_remaps", "page_copies_taken")
+    for name in interesting:
+        print(f"  {name:28s} {db.stats.get(name)}")
+    print(f"  bad-block list: {db.device.bad_blocks.reasons()}")
+    print("\nno transaction ever aborted; every fault was absorbed as a "
+          "single-page failure.")
+
+
+if __name__ == "__main__":
+    main()

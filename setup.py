@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The pyproject.toml is authoritative; this file exists so that
+``python setup.py develop`` works in offline environments where pip
+cannot fetch the ``wheel`` package required for PEP 660 editable
+installs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

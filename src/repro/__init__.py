@@ -1,0 +1,68 @@
+"""repro — reproduction of Graefe & Kuno, "Definition, Detection, and
+Recovery of Single-Page Failures, a Fourth Class of Database Failures"
+(PVLDB 5(7), 2012).
+
+The package builds the complete system the paper's design assumes — a
+simulated fault-injecting storage device, an ARIES-style write-ahead
+log with per-transaction and per-page chains, a buffer pool, user and
+system transactions, and a Foster B-tree with symmetric fence keys —
+and, on top of it, the paper's contribution: the page recovery index
+and single-page failure detection and recovery.
+
+Quick start::
+
+    from repro import Database, EngineConfig
+
+    db = Database(EngineConfig(capacity_pages=512))
+    tree = db.create_index()
+    txn = db.begin()
+    tree.insert(txn, b"hello", b"world")
+    db.commit(txn)
+
+    db.flush_everything()
+    db.device.inject_bit_rot(db.get_root(tree.index_id))
+    db.evict_everything()
+    assert tree.lookup(b"hello") == b"world"   # recovered transparently
+"""
+
+from repro.core.backup import BackupPolicy
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+from repro.errors import (
+    FailureClass,
+    MediaFailure,
+    PageFailureKind,
+    ReproError,
+    SinglePageFailure,
+    SystemFailure,
+    TransactionAborted,
+)
+from repro.sim.clock import SimClock
+from repro.sim.iomodel import (
+    ARCHIVE_PROFILE,
+    FLASH_PROFILE,
+    HDD_PROFILE,
+    IOProfile,
+)
+from repro.sim.stats import Stats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "EngineConfig",
+    "BackupPolicy",
+    "SimClock",
+    "Stats",
+    "IOProfile",
+    "HDD_PROFILE",
+    "FLASH_PROFILE",
+    "ARCHIVE_PROFILE",
+    "FailureClass",
+    "PageFailureKind",
+    "ReproError",
+    "SinglePageFailure",
+    "MediaFailure",
+    "SystemFailure",
+    "TransactionAborted",
+]

@@ -1,0 +1,20 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.media_only` — a traditional engine for which
+  single-page failures are *not* a supported class: every page failure
+  escalates per Figure 1.
+* :mod:`repro.baselines.mirror_repair` — the only automatic page
+  repair the paper found in practice (SQL Server database mirroring):
+  a full mirror kept current by log shipping, where repairing one page
+  requires applying the *entire* log stream to the mirror first.
+"""
+
+from repro.baselines.media_only import EscalationOutcome, traditional_config
+from repro.baselines.mirror_repair import LogShippingMirror, MirrorRepairResult
+
+__all__ = [
+    "traditional_config",
+    "EscalationOutcome",
+    "LogShippingMirror",
+    "MirrorRepairResult",
+]

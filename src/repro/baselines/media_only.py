@@ -1,0 +1,104 @@
+"""The traditional baseline: no single-page failure class.
+
+With ``spf_enabled=False`` the engine maintains no page recovery index
+and takes no page backups; when a page fails verification "a
+traditional system offers no choice but declare a media failure"
+(Figure 8), and on a single-device node that media failure is a system
+failure (Figure 1).  This module packages that configuration and an
+escalation-measurement helper shared by the Figure-1 experiment and
+the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.config import EngineConfig
+from repro.errors import FailureClass, MediaFailure, SystemFailure
+
+
+def traditional_config(single_device_node: bool = False,
+                       log_completed_writes: bool = False,
+                       **overrides) -> EngineConfig:  # noqa: ANN003
+    """Engine configuration of a pre-single-page-failure system."""
+    from repro.core.backup import BackupPolicy
+
+    return EngineConfig(
+        spf_enabled=False,
+        log_completed_writes=log_completed_writes,
+        single_device_node=single_device_node,
+        backup_policy=BackupPolicy.disabled(),
+        **overrides)
+
+
+@dataclass
+class EscalationOutcome:
+    """Measured blast radius of one page fault under some engine."""
+
+    failure_class: FailureClass
+    transactions_aborted: int
+    pages_unavailable: int
+    downtime_seconds: float
+    recovery_seconds: float
+    detail: str = ""
+
+    @property
+    def label(self) -> str:
+        return self.failure_class.value
+
+
+def measure_page_fault(db, page_id: int, backup_id: int | None = None) -> EscalationOutcome:  # noqa: ANN001
+    """Touch a failed page and measure what it costs to get it back.
+
+    For an SPF engine the read itself triggers single-page recovery;
+    for a traditional engine the read raises a media failure and we run
+    full media recovery (restoring ``backup_id``), or — on a single-
+    device node — a system failure whose resolution additionally needs
+    a restart.
+    """
+    active_before = len([t for t in db.tm.active.values() if not t.is_system])
+    start = db.clock.now
+    try:
+        page = db.pool.fix(page_id)
+        db.pool.unfix(page_id)
+        assert page.page_id == page_id
+        return EscalationOutcome(
+            failure_class=FailureClass.SINGLE_PAGE,
+            transactions_aborted=0,
+            pages_unavailable=0,
+            downtime_seconds=0.0,
+            recovery_seconds=db.clock.now - start,
+            detail="transaction merely delayed",
+        )
+    except MediaFailure:
+        aborted = active_before
+        if backup_id is None:
+            raise
+        report = db.recover_media(backup_id)
+        return EscalationOutcome(
+            failure_class=FailureClass.MEDIA,
+            transactions_aborted=aborted,
+            pages_unavailable=db.config.capacity_pages,
+            downtime_seconds=db.clock.now - start,
+            recovery_seconds=report.total_seconds,
+            detail=f"{report.pages_restored} pages restored, "
+                   f"{report.records_replayed} records replayed",
+        )
+    except SystemFailure:
+        aborted = active_before
+        if backup_id is None:
+            raise
+        # The whole node went down: restart the DBMS, then restore the
+        # media, then restart recovery over the restored state.
+        db.crash()
+        db._media_failed = False
+        db.restart()
+        report = db.recover_media(backup_id)
+        return EscalationOutcome(
+            failure_class=FailureClass.SYSTEM,
+            transactions_aborted=aborted,
+            pages_unavailable=db.config.capacity_pages,
+            downtime_seconds=db.clock.now - start,
+            recovery_seconds=report.total_seconds,
+            detail="node down: restart + media recovery",
+        )

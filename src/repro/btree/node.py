@@ -1,0 +1,345 @@
+"""B-tree node format over slotted pages.
+
+A node is a slotted page with three bookkeeping records at fixed slots
+followed by the data records::
+
+    slot 0  (low fence)   key = low fence key,  value = metadata blob
+    slot 1  (high fence)  key = high fence key, value = b""
+    slot 2  (foster)      key = foster key,     value = foster child pid
+    slot 3+ (data)        sorted records; keys stored prefix-truncated
+
+Metadata blob (value of slot 0)::
+
+    level   u16   0 = leaf
+    flags   u16   bit 0: the high fence is +infinity
+    prefix  rest  the prefix stripped from all stored data keys
+
+Storing the fences and the foster pointer as ordinary records means
+every structural change is expressible as ordinary record operations —
+so the generic redo machinery replays node splits and adoptions with no
+special cases, and the in-page plausibility checks cover the fences
+too.  This mirrors the paper's Figure 2, where the fence keys are
+records within the page (one of them possibly a ghost).
+
+The symmetric-fence-key invariants (Section 4.2):
+
+* every data key k satisfies ``low_fence <= k < high_fence``;
+* in a branch, each record is ``(child low boundary, child pid)`` and
+  the first record's key equals the node's low fence — hence the two
+  key values adjacent to any child pointer are exactly the child's
+  fence keys;
+* a foster parent's own records are all ``< foster_key``; the foster
+  child covers ``[foster_key, high_fence)``; every node of a foster
+  chain carries the high fence of the *entire chain* (Figure 3).
+
+Prefix truncation: the prefix is fixed when the node is initialized
+(from the fences at that time) and remains *valid* — a prefix of every
+data key — for the node's lifetime, even if later fence tightening
+(adoption) would permit a longer one.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import BTreeError
+from repro.page.page import Page, PageType
+from repro.page.slotted import Record, SlottedPage
+from repro.wal.ops import OpDelete, OpInsert, OpSetGhost, OpUpdateValue, PageOp
+
+SLOT_LOW = 0
+SLOT_HIGH = 1
+SLOT_FOSTER = 2
+DATA_START = 3
+
+_META = struct.Struct("<HH")
+FLAG_HIGH_INF = 1
+
+#: pid value meaning "no foster child"
+NO_FOSTER = 0
+
+
+def encode_meta(level: int, high_inf: bool, prefix: bytes) -> bytes:
+    flags = FLAG_HIGH_INF if high_inf else 0
+    return _META.pack(level, flags) + prefix
+
+
+def encode_pid(pid: int) -> bytes:
+    return struct.pack("<q", pid)
+
+
+def decode_pid(value: bytes) -> int:
+    return struct.unpack("<q", value)[0]
+
+
+class BTreeNode:
+    """Read-mostly view of a B-tree node page.
+
+    Mutations are *not* performed here: the tree constructs page
+    operations (returned by the ``op_*`` helpers) and logs them through
+    the transaction manager, which applies them — keeping every
+    structural byte change in the recovery log.
+    """
+
+    def __init__(self, page: Page) -> None:
+        self.page = page
+        self.slotted = SlottedPage(page)
+        if page.page_type not in (PageType.BTREE_BRANCH, PageType.BTREE_LEAF):
+            raise BTreeError(
+                f"page {page.page_id} is a {page.page_type.name}, not a B-tree node")
+        if self.slotted.slot_count < DATA_START:
+            raise BTreeError(f"page {page.page_id} lacks bookkeeping records")
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    @property
+    def _meta(self) -> tuple[int, int, bytes]:
+        blob = self.slotted.read_record(SLOT_LOW).value
+        level, flags = _META.unpack_from(blob, 0)
+        return level, flags, blob[_META.size:]
+
+    @property
+    def level(self) -> int:
+        return self._meta[0]
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    @property
+    def high_inf(self) -> bool:
+        return bool(self._meta[1] & FLAG_HIGH_INF)
+
+    @property
+    def prefix(self) -> bytes:
+        return self._meta[2]
+
+    @property
+    def low_fence(self) -> bytes:
+        """Low fence key; ``b""`` doubles as minus infinity."""
+        return self.slotted.record_key(SLOT_LOW)
+
+    @property
+    def high_fence(self) -> bytes:
+        """High fence key; meaningless when :attr:`high_inf` is set."""
+        return self.slotted.record_key(SLOT_HIGH)
+
+    @property
+    def foster_pid(self) -> int:
+        return decode_pid(self.slotted.read_record(SLOT_FOSTER).value)
+
+    @property
+    def foster_key(self) -> bytes:
+        return self.slotted.record_key(SLOT_FOSTER)
+
+    @property
+    def has_foster(self) -> bool:
+        return self.foster_pid != NO_FOSTER
+
+    # ------------------------------------------------------------------
+    # Data records
+    # ------------------------------------------------------------------
+    @property
+    def nrecs(self) -> int:
+        return self.slotted.slot_count - DATA_START
+
+    def stored_key(self, i: int) -> bytes:
+        return self.slotted.record_key(DATA_START + i)
+
+    def full_key(self, i: int) -> bytes:
+        return self.prefix + self.stored_key(i)
+
+    def value(self, i: int) -> bytes:
+        return self.slotted.read_record(DATA_START + i).value
+
+    def is_ghost(self, i: int) -> bool:
+        return self.slotted.is_ghost(DATA_START + i)
+
+    def child_pid(self, i: int) -> int:
+        return decode_pid(self.value(i))
+
+    def keys(self, include_ghosts: bool = False) -> list[bytes]:
+        return [self.full_key(i) for i in range(self.nrecs)
+                if include_ghosts or not self.is_ghost(i)]
+
+    # ------------------------------------------------------------------
+    # Searching
+    # ------------------------------------------------------------------
+    def _strip(self, key: bytes) -> bytes:
+        prefix = self.prefix
+        if not key.startswith(prefix):
+            raise BTreeError(
+                f"key {key!r} outside node prefix {prefix!r} "
+                f"(page {self.page.page_id})")
+        return key[len(prefix):]
+
+    def find(self, key: bytes) -> tuple[int, bool]:
+        """Binary search for ``key`` among data records.
+
+        Returns ``(index, found)`` where ``index`` is the insert
+        position if not found.
+        """
+        target = self._strip(key)
+        lo, hi = 0, self.nrecs
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.stored_key(mid) < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        found = lo < self.nrecs and self.stored_key(lo) == target
+        return lo, found
+
+    def covers(self, key: bytes) -> bool:
+        """Is ``key`` within this node's [low, high) fence range?
+
+        With a foster child, the range still extends to the chain high
+        fence; use :attr:`foster_key` to decide whether to follow the
+        foster pointer.
+        """
+        if key < self.low_fence:
+            return False
+        return self.high_inf or key < self.high_fence
+
+    def branch_child_index(self, key: bytes) -> int:
+        """Index of the child record responsible for ``key``.
+
+        Branch records hold each child's *low boundary*; the
+        responsible child is the rightmost record with key <= ``key``.
+        """
+        if self.is_leaf:
+            raise BTreeError("branch_child_index on a leaf")
+        index, found = self.find(key)
+        if not found:
+            index -= 1
+        if index < 0:
+            raise BTreeError(
+                f"key {key!r} below first child of page {self.page.page_id}")
+        return index
+
+    def child_boundaries(self, i: int) -> tuple[bytes, bytes, bool]:
+        """(low, high, high_is_inf) boundaries of child ``i``.
+
+        These are "the key values next to the pointer in the parent"
+        that must equal the child's fence keys (Section 4.2).  The
+        last child's high boundary is the foster key if a foster child
+        exists (the foster chain covers the rest), else this node's
+        high fence.
+        """
+        low = self.full_key(i)
+        if i + 1 < self.nrecs:
+            return low, self.full_key(i + 1), False
+        if self.has_foster:
+            return low, self.foster_key, False
+        return low, self.high_fence, self.high_inf
+
+    def foster_boundaries(self) -> tuple[bytes, bytes, bool]:
+        """Expected fences of the foster child: [foster key, chain high)."""
+        if not self.has_foster:
+            raise BTreeError("node has no foster child")
+        return self.foster_key, self.high_fence, self.high_inf
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+    def room_for(self, key: bytes, value: bytes) -> bool:
+        record = Record(self._strip(key), value)
+        return self.slotted.room_for(record)
+
+    def room_for_branch_record(self, key: bytes) -> bool:
+        if not key.startswith(self.prefix):
+            # An adoption may post a key outside the stale prefix; the
+            # caller must split first.
+            return False
+        record = Record(key[len(self.prefix):], encode_pid(0))
+        return self.slotted.room_for(record)
+
+    # ------------------------------------------------------------------
+    # Operation builders (logged and applied by the tree)
+    # ------------------------------------------------------------------
+    def op_insert(self, index: int, key: bytes, value: bytes,
+                  ghost: bool = False) -> PageOp:
+        return OpInsert(DATA_START + index, self._strip(key), value, ghost)
+
+    def op_delete(self, index: int) -> PageOp:
+        rec = self.slotted.read_record(DATA_START + index)
+        return OpDelete(DATA_START + index, rec.key, rec.value, rec.ghost)
+
+    def op_update_value(self, index: int, new_value: bytes) -> PageOp:
+        old = self.value(index)
+        return OpUpdateValue(DATA_START + index, old, new_value)
+
+    def op_set_ghost(self, index: int, ghost: bool) -> PageOp:
+        return OpSetGhost(DATA_START + index, self.is_ghost(index), ghost)
+
+    def ops_set_foster(self, foster_key: bytes, foster_pid: int) -> list[PageOp]:
+        """Replace the foster record (re-keying = delete + insert)."""
+        old = self.slotted.read_record(SLOT_FOSTER)
+        return [OpDelete(SLOT_FOSTER, old.key, old.value, old.ghost),
+                OpInsert(SLOT_FOSTER, foster_key, encode_pid(foster_pid), True)]
+
+    def ops_set_high_fence(self, high: bytes, high_inf: bool) -> list[PageOp]:
+        """Replace the high fence and the flag bit in the metadata."""
+        ops: list[PageOp] = []
+        old_high = self.slotted.read_record(SLOT_HIGH)
+        ops.append(OpDelete(SLOT_HIGH, old_high.key, old_high.value, old_high.ghost))
+        ops.append(OpInsert(SLOT_HIGH, high, b"", True))
+        level, flags, prefix = self._meta
+        new_flags = (flags | FLAG_HIGH_INF) if high_inf else (flags & ~FLAG_HIGH_INF)
+        if new_flags != flags:
+            old_meta = self.slotted.read_record(SLOT_LOW).value
+            new_meta = _META.pack(level, new_flags) + prefix
+            ops.append(OpUpdateValue(SLOT_LOW, old_meta, new_meta))
+        return ops
+
+    def ops_reencode_prefix(self, new_prefix: bytes) -> list[PageOp]:
+        """Re-encode stored keys under a longer truncation prefix.
+
+        Adoption tightens a node's high fence, which usually permits a
+        longer common prefix; re-encoding is contents-neutral and runs
+        inside the same system transaction as the adoption.  Returns an
+        empty list when nothing would change.
+        """
+        old_prefix = self.prefix
+        if new_prefix == old_prefix:
+            return []
+        if not new_prefix.startswith(old_prefix):
+            raise BTreeError("prefix can only be extended")
+        extra = len(new_prefix) - len(old_prefix)
+        ops: list[PageOp] = []
+        level, flags, _prefix = self._meta
+        old_meta = self.slotted.read_record(SLOT_LOW).value
+        ops.append(OpUpdateValue(SLOT_LOW, old_meta,
+                                 _META.pack(level, flags) + new_prefix))
+        for i in range(self.nrecs):
+            rec = self.slotted.read_record(DATA_START + i)
+            if not (old_prefix + rec.key).startswith(new_prefix):
+                raise BTreeError(
+                    f"key {old_prefix + rec.key!r} outside new prefix")
+            ops.append(OpDelete(DATA_START + i, rec.key, rec.value, rec.ghost))
+            ops.append(OpInsert(DATA_START + i, rec.key[extra:], rec.value,
+                                rec.ghost))
+        return ops
+
+    @staticmethod
+    def ops_initialize(level: int, low: bytes, high: bytes, high_inf: bool,
+                       foster_key: bytes = b"",
+                       foster_pid: int = NO_FOSTER) -> list[PageOp]:
+        """Bookkeeping-record inserts for a freshly formatted node.
+
+        The prefix is fixed here: the common prefix of the fences (or
+        empty when the high fence is infinite).
+        """
+        from repro.btree.keys import common_prefix
+        prefix = b"" if high_inf else common_prefix(low, high)
+        meta = encode_meta(level, high_inf, prefix)
+        return [OpInsert(SLOT_LOW, low, meta, True),
+                OpInsert(SLOT_HIGH, high, b"", True),
+                OpInsert(SLOT_FOSTER, foster_key, encode_pid(foster_pid), True)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        high = "inf" if self.high_inf else repr(self.high_fence)
+        foster = f", foster={self.foster_pid}@{self.foster_key!r}" if self.has_foster else ""
+        return (f"BTreeNode(page={self.page.page_id}, level={self.level}, "
+                f"[{self.low_fence!r}, {high}), {self.nrecs} recs{foster})")

@@ -1,0 +1,12 @@
+"""Buffer pool: fixing, dirty tracking, WAL-correct write-back.
+
+The buffer pool is where the paper's Figure 11 ordering lives: a dirty
+page is written back to the database, then a log record describing the
+corresponding page-recovery-index update is appended, and only then may
+the frame be evicted and reused.
+"""
+
+from repro.buffer.buffer_pool import BufferPool, Frame
+from repro.buffer.eviction import ClockEviction
+
+__all__ = ["BufferPool", "Frame", "ClockEviction"]

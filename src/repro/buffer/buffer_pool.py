@@ -1,0 +1,234 @@
+"""The buffer pool.
+
+Responsibilities:
+
+* page residency and pinning (fix/unfix);
+* dirty tracking with ARIES-style recovery LSNs (``rec_lsn`` = LSN of
+  the first update that dirtied the frame since it was last clean) —
+  the dirty page table for checkpoints comes from here;
+* the write-back protocol of Figure 11:
+
+  1. force the log up to the page's PageLSN (the WAL rule);
+  2. seal (checksum) and write the page to the device;
+  3. invoke ``on_page_cleaned`` — the engine logs the
+     page-recovery-index update there (a system transaction);
+  4. only then may the frame be evicted.
+
+The pool never reads the device directly: the engine supplies a
+``fetcher`` that performs the read *plus* detection and, if necessary,
+single-page recovery (Figure 8's page-retrieval logic).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.buffer.eviction import ClockEviction
+from repro.errors import BufferPoolError
+from repro.page.page import Page
+from repro.sim.stats import Stats
+from repro.storage.device import StorageDevice
+from repro.wal.log_manager import LogManager
+from repro.wal.lsn import NULL_LSN
+
+
+class Frame:
+    """One buffer-pool frame."""
+
+    __slots__ = ("page", "dirty", "rec_lsn", "pin_count")
+
+    def __init__(self, page: Page) -> None:
+        self.page = page
+        self.dirty = False
+        self.rec_lsn = NULL_LSN
+        self.pin_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Frame(page={self.page.page_id}, dirty={self.dirty}, "
+                f"rec_lsn={self.rec_lsn}, pins={self.pin_count})")
+
+
+class BufferPool:
+    """Fixed-capacity page cache over one device."""
+
+    def __init__(self, device: StorageDevice, log: LogManager, stats: Stats,
+                 capacity: int,
+                 fetcher: Callable[[int], Page] | None = None,
+                 on_page_cleaned: Callable[[Page], None] | None = None,
+                 on_before_write: Callable[[Page], None] | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self.device = device
+        self.log = log
+        self.stats = stats
+        self.capacity = capacity
+        self.fetcher = fetcher or self._default_fetch
+        self.on_page_cleaned = on_page_cleaned
+        self.on_before_write = on_before_write
+        self._frames: dict[int, Frame] = {}
+        self._policy = ClockEviction()
+
+    # ------------------------------------------------------------------
+    # Fixing
+    # ------------------------------------------------------------------
+    def fix(self, page_id: int) -> Page:
+        """Pin ``page_id`` in the pool, reading it if absent."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            self.stats.bump("buffer_misses")
+            self._make_room()
+            page = self.fetcher(page_id)
+            frame = Frame(page)
+            self._frames[page_id] = frame
+            self._policy.admitted(page_id)
+        else:
+            self.stats.bump("buffer_hits")
+            self._policy.touched(page_id)
+        frame.pin_count += 1
+        return frame.page
+
+    def fix_new(self, page: Page) -> Page:
+        """Install a freshly formatted (or recovered) page, pinned.
+
+        Used when the page's contents were produced in memory — newly
+        allocated pages and pages just rebuilt by single-page recovery
+        — so no device read should occur.
+        """
+        page_id = page.page_id
+        if page_id in self._frames:
+            raise BufferPoolError(f"page {page_id} already resident")
+        self._make_room()
+        frame = Frame(page)
+        frame.pin_count = 1
+        self._frames[page_id] = frame
+        self._policy.admitted(page_id)
+        return frame.page
+
+    def unfix(self, page_id: int) -> None:
+        frame = self._require(page_id)
+        if frame.pin_count <= 0:
+            raise BufferPoolError(f"page {page_id} is not pinned")
+        frame.pin_count -= 1
+
+    def _require(self, page_id: int) -> Frame:
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise BufferPoolError(f"page {page_id} not resident")
+        return frame
+
+    def _default_fetch(self, page_id: int) -> Page:
+        raw = self.device.read(page_id)
+        return Page(self.device.page_size, raw)
+
+    # ------------------------------------------------------------------
+    # Dirty tracking
+    # ------------------------------------------------------------------
+    def mark_dirty(self, page_id: int, lsn: int) -> None:
+        """Record that log record ``lsn`` dirtied the page."""
+        frame = self._require(page_id)
+        if not frame.dirty:
+            frame.dirty = True
+            frame.rec_lsn = lsn
+        # If already dirty, rec_lsn stays at the *first* dirtying LSN.
+
+    def is_dirty(self, page_id: int) -> bool:
+        return self._require(page_id).dirty
+
+    def dirty_page_table(self) -> dict[int, int]:
+        """page id -> rec_lsn for all dirty frames (checkpoint payload)."""
+        return {pid: f.rec_lsn for pid, f in self._frames.items() if f.dirty}
+
+    def resident(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    def resident_pages(self) -> list[int]:
+        return sorted(self._frames)
+
+    def pin_count(self, page_id: int) -> int:
+        frame = self._frames.get(page_id)
+        return 0 if frame is None else frame.pin_count
+
+    def page_if_resident(self, page_id: int) -> Page | None:
+        frame = self._frames.get(page_id)
+        return None if frame is None else frame.page
+
+    # ------------------------------------------------------------------
+    # Write-back (Figure 11)
+    # ------------------------------------------------------------------
+    def flush_page(self, page_id: int) -> bool:
+        """Write a dirty page back; returns True if a write happened.
+
+        Implements the WAL rule plus the Figure-11 protocol: after the
+        device write, ``on_page_cleaned`` runs (the engine logs the PRI
+        update there) *before* the frame becomes evictable.
+        """
+        frame = self._require(page_id)
+        if not frame.dirty:
+            return False
+        page = frame.page
+        # WAL rule: no page goes to disk before its log records do.
+        self.log.force(page.page_lsn + 1)
+        if self.on_before_write is not None:
+            # The engine's page-backup policy hook (Section 6): it may
+            # take a page copy and reset the in-page update counter, so
+            # it must run before the image is sealed and written.
+            self.on_before_write(page)
+        page.seal()
+        self.device.write(page_id, page.data)
+        frame.dirty = False
+        frame.rec_lsn = NULL_LSN
+        self.stats.bump("pages_written_back")
+        if self.on_page_cleaned is not None:
+            self.on_page_cleaned(page)
+        return True
+
+    def flush_all(self) -> int:
+        """Flush every dirty page (checkpoint); returns pages written."""
+        written = 0
+        for page_id in sorted(self._frames):
+            if self.flush_page(page_id):
+                written += 1
+        return written
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def _make_room(self) -> None:
+        while len(self._frames) >= self.capacity:
+            victim = self._policy.choose_victim(
+                lambda pid: self._frames[pid].pin_count == 0)
+            if victim is None:
+                raise BufferPoolError("all frames pinned; cannot evict")
+            self.evict(victim)
+
+    def evict(self, page_id: int) -> None:
+        """Flush (if dirty) and drop a frame."""
+        frame = self._require(page_id)
+        if frame.pin_count > 0:
+            raise BufferPoolError(f"cannot evict pinned page {page_id}")
+        if frame.dirty:
+            self.flush_page(page_id)
+        del self._frames[page_id]
+        self._policy.removed(page_id)
+        self.stats.bump("pages_evicted")
+
+    def drop_frame(self, page_id: int) -> None:
+        """Discard one frame *without* writing it back.
+
+        Used when the in-memory image is untrustworthy (a page that
+        failed cross-page verification must not be written to disk).
+        """
+        frame = self._require(page_id)
+        if frame.pin_count > 0:
+            raise BufferPoolError(f"cannot drop pinned page {page_id}")
+        del self._frames[page_id]
+        self._policy.removed(page_id)
+        self.stats.bump("frames_dropped")
+
+    def drop_all(self) -> None:
+        """Discard every frame without writing (crash simulation)."""
+        self._frames.clear()
+        self._policy = ClockEviction()
+
+    def __len__(self) -> int:
+        return len(self._frames)

@@ -1,0 +1,37 @@
+"""The paper's contribution: single-page failure handling.
+
+* :mod:`repro.core.recovery_index` — the page recovery index (PRI),
+  the new data structure of Section 5.2.2 (Figure 7);
+* :mod:`repro.core.backup` — the backup-image sources of Section 5.2.1
+  and the page-backup policy of Section 6;
+* :mod:`repro.core.single_page` — the recovery procedure of
+  Section 5.2.3 (Figure 10);
+* :mod:`repro.core.recovery_manager` — the page-retrieval logic of
+  Figure 8, including escalation to media/system failure (Figure 1)
+  when single-page recovery is unsupported or impossible;
+* :mod:`repro.core.failure_classes` — the four-class taxonomy and the
+  escalation/blast-radius model used by the experiments.
+"""
+
+from repro.core.backup import BackupPolicy, BackupStore
+from repro.core.failure_classes import FailureEvent, FailureOutcome
+from repro.core.recovery_index import (
+    PageRecoveryIndex,
+    PartitionedRecoveryIndex,
+    PriEntry,
+)
+from repro.core.recovery_manager import RecoveryManager
+from repro.core.single_page import RecoveryResult, SinglePageRecovery
+
+__all__ = [
+    "PageRecoveryIndex",
+    "PartitionedRecoveryIndex",
+    "PriEntry",
+    "BackupStore",
+    "BackupPolicy",
+    "SinglePageRecovery",
+    "RecoveryResult",
+    "RecoveryManager",
+    "FailureEvent",
+    "FailureOutcome",
+]

@@ -1,0 +1,50 @@
+"""The four-class failure taxonomy as an executable model (Figure 1).
+
+:class:`FailureEvent` records how one detected fault was ultimately
+handled and what it cost — the "blast radius" the Figure-1 experiment
+compares across engines:
+
+* handled as a **single-page failure**: affected transactions merely
+  wait; nothing aborts; the device keeps serving all other pages;
+* escalated to a **media failure**: every transaction touching the
+  device aborts; the device is unavailable for the restore duration;
+* escalated further to a **system failure** (single-device node): all
+  transactions abort and the whole system is down for restart plus
+  restore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import FailureClass
+
+
+class FailureOutcome(Enum):
+    """How a detected page fault was resolved."""
+
+    RECOVERED_IN_PLACE = "single-page recovery"
+    ESCALATED_TO_MEDIA = "escalated to media failure"
+    ESCALATED_TO_SYSTEM = "escalated to system failure"
+
+
+@dataclass
+class FailureEvent:
+    """Blast radius of one handled fault."""
+
+    page_id: int
+    detected_by: str
+    outcome: FailureOutcome
+    failure_class: FailureClass
+    transactions_aborted: int = 0
+    pages_unavailable: int = 0
+    downtime_seconds: float = 0.0
+    detail: str = ""
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (f"page {self.page_id}: {self.detected_by} -> {self.outcome.value} "
+                f"({self.transactions_aborted} txns aborted, "
+                f"{self.pages_unavailable} pages unavailable, "
+                f"{self.downtime_seconds:.3f} s downtime)")

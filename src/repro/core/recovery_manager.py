@@ -1,0 +1,186 @@
+"""The page-retrieval logic of Figure 8.
+
+Reading a page after a buffer fault:
+
+1. read the page from the device — an explicit device error is a
+   single-page failure;
+2. run the in-page tests (magic, checksum, header and indirection
+   vector plausibility, embedded page id);
+3. cross-check the PageLSN against the page recovery index (the
+   "Gary Smith" check: a valid-looking but *stale* page — a lost
+   write — fails here);
+4. on any failure: if single-page failures are a supported class, run
+   single-page recovery and hand the repaired page to the caller, who
+   never learns anything happened beyond a short delay;
+5. if recovery is unsupported or itself fails, escalate: "a
+   traditional system offers no choice but declare a media failure" —
+   and on a single-device node, a media failure *is* a system failure
+   (Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.failure_classes import FailureEvent, FailureOutcome
+from repro.core.recovery_index import PartitionedRecoveryIndex, PageRecoveryIndex
+from repro.core.single_page import SinglePageRecovery
+from repro.errors import (
+    FailureClass,
+    MediaFailure,
+    PageFailureKind,
+    RecoveryError,
+    SinglePageFailure,
+    SystemFailure,
+)
+from repro.page.page import Page, PageType
+from repro.page.slotted import SlottedPage
+from repro.sim.clock import SimClock
+from repro.sim.stats import Stats
+from repro.storage.device import DeviceReadError, StorageDevice
+
+#: Page types whose body is a slotted area (eligible for indirection-
+#: vector plausibility analysis).  Recovery-index pages hold raw
+#: serialized chunks, not slotted records, so they get only the
+#: header-level checks.
+_SLOTTED_TYPES = frozenset({
+    PageType.METADATA, PageType.BTREE_BRANCH, PageType.BTREE_LEAF,
+    PageType.HEAP,
+})
+
+
+class RecoveryManager:
+    """Implements Figure 8; used as the buffer pool's page fetcher."""
+
+    def __init__(self, device: StorageDevice,
+                 pri: PageRecoveryIndex | PartitionedRecoveryIndex,
+                 single_page: SinglePageRecovery | None,
+                 clock: SimClock, stats: Stats,
+                 single_device_node: bool = False,
+                 on_media_failure: Callable[[MediaFailure], None] | None = None,
+                 pri_lsn_check: bool = True) -> None:
+        self.device = device
+        self.pri = pri
+        self.single_page = single_page
+        self.clock = clock
+        self.stats = stats
+        self.single_device_node = single_device_node
+        self.on_media_failure = on_media_failure
+        self.pri_lsn_check = pri_lsn_check
+        self.events: list[FailureEvent] = []
+
+    @property
+    def spf_supported(self) -> bool:
+        return self.single_page is not None
+
+    # ------------------------------------------------------------------
+    # The read path
+    # ------------------------------------------------------------------
+    def fetch_page(self, page_id: int) -> Page:
+        """Read + verify a page; recover or escalate on failure."""
+        try:
+            page = self._read_and_verify(page_id)
+            self.stats.bump("pages_fetched_clean")
+            return page
+        except SinglePageFailure as failure:
+            return self.handle_failure(failure)
+
+    def _read_and_verify(self, page_id: int) -> Page:
+        try:
+            raw = self.device.read(page_id)
+        except DeviceReadError as exc:
+            raise SinglePageFailure(
+                page_id, PageFailureKind.DEVICE_READ_ERROR, str(exc)) from exc
+        page = Page(self.device.page_size, raw)
+        # In-page tests: magic, checksum, header plausibility, page id.
+        page.verify(expected_page_id=page_id)
+        # Indirection-vector analysis for slotted page types.
+        if page.page_type in _SLOTTED_TYPES:
+            SlottedPage(page).check_plausible()
+        # PageLSN cross-check against the page recovery index.
+        self._check_page_lsn(page_id, page)
+        return page
+
+    def _check_page_lsn(self, page_id: int, page: Page) -> None:
+        if not self.pri_lsn_check:
+            return
+        expected = self.pri.expected_page_lsn(page_id)
+        if expected is None:
+            return
+        actual = page.page_lsn
+        if actual < expected:
+            # The device returned an older version: a lost write that
+            # every in-page test is structurally unable to catch.
+            raise SinglePageFailure(
+                page_id, PageFailureKind.STALE_LSN,
+                f"PageLSN {actual} older than recovery index's {expected}")
+        if actual > expected:
+            # The page is newer than the index believes — a PRI update
+            # was lost (e.g. in a crash).  The page itself is fine;
+            # repair the index (Figure 12's reconciliation, applied on
+            # the read path).
+            self.pri.record_write(page_id, actual)
+            self.stats.bump("pri_repaired_on_read")
+
+    # ------------------------------------------------------------------
+    # Failure handling and escalation (Figures 1 and 8)
+    # ------------------------------------------------------------------
+    def handle_failure(self, failure: SinglePageFailure) -> Page:
+        """Dispatch a detected single-page failure.
+
+        Returns the recovered page, or raises :class:`MediaFailure` /
+        :class:`SystemFailure` after recording the escalation.
+        """
+        self.stats.bump("page_failures_detected")
+        if self.single_page is not None:
+            try:
+                start = self.clock.now
+                page, result = self.single_page.recover(failure)
+                self.events.append(FailureEvent(
+                    page_id=failure.page_id,
+                    detected_by=failure.kind.value,
+                    outcome=FailureOutcome.RECOVERED_IN_PLACE,
+                    failure_class=FailureClass.SINGLE_PAGE,
+                    transactions_aborted=0,
+                    pages_unavailable=0,
+                    downtime_seconds=self.clock.now - start,
+                    detail=f"{result.records_applied} log records applied, "
+                           f"{result.total_random_ios} random I/Os",
+                ))
+                return page
+            except RecoveryError as exc:
+                self.stats.bump("spf_recovery_failures")
+                self._escalate(failure, f"single-page recovery failed: {exc}")
+        else:
+            self._escalate(failure, "single-page failures unsupported")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _escalate(self, failure: SinglePageFailure, reason: str) -> None:
+        """Figure 1: page failure -> media failure -> system failure."""
+        media = MediaFailure(self.device.name,
+                             f"page {failure.page_id}: {reason}")
+        self.stats.bump("escalations_to_media")
+        if self.on_media_failure is not None:
+            self.on_media_failure(media)
+        if self.single_device_node:
+            self.stats.bump("escalations_to_system")
+            self.events.append(FailureEvent(
+                page_id=failure.page_id,
+                detected_by=failure.kind.value,
+                outcome=FailureOutcome.ESCALATED_TO_SYSTEM,
+                failure_class=FailureClass.SYSTEM,
+                pages_unavailable=self.device.capacity_pages,
+                detail=reason,
+            ))
+            raise SystemFailure(
+                f"media failure on only device '{self.device.name}': "
+                f"{reason}") from media
+        self.events.append(FailureEvent(
+            page_id=failure.page_id,
+            detected_by=failure.kind.value,
+            outcome=FailureOutcome.ESCALATED_TO_MEDIA,
+            failure_class=FailureClass.MEDIA,
+            pages_unavailable=self.device.capacity_pages,
+            detail=reason,
+        ))
+        raise media

@@ -1,0 +1,54 @@
+"""Non-raising in-page checks, for scrubbing and reporting.
+
+The raising variants (used on the hot read path) live on
+:class:`repro.page.Page` and :class:`repro.page.SlottedPage`; this
+module wraps them so a scrubber can enumerate *all* damage instead of
+stopping at the first failed page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PageFailureKind, SinglePageFailure
+from repro.page.page import Page, PageType
+from repro.page.slotted import SlottedPage
+
+_SLOTTED_TYPES = frozenset({
+    PageType.METADATA, PageType.BTREE_BRANCH, PageType.BTREE_LEAF,
+    PageType.HEAP,
+})
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """Result of checking one page."""
+
+    page_id: int
+    ok: bool
+    kind: PageFailureKind | None = None
+    detail: str = ""
+
+    @classmethod
+    def passed(cls, page_id: int) -> "CheckOutcome":
+        return cls(page_id, True)
+
+    @classmethod
+    def failed(cls, failure: SinglePageFailure) -> "CheckOutcome":
+        return cls(failure.page_id, False, failure.kind, failure.detail)
+
+
+def run_in_page_checks(page: Page, expected_page_id: int,
+                       expected_lsn: int | None = None) -> CheckOutcome:
+    """All in-page tests plus the optional PRI LSN cross-check."""
+    try:
+        page.verify(expected_page_id=expected_page_id)
+        if page.page_type in _SLOTTED_TYPES:
+            SlottedPage(page).check_plausible()
+    except SinglePageFailure as failure:
+        return CheckOutcome.failed(failure)
+    if expected_lsn is not None and page.page_lsn < expected_lsn:
+        return CheckOutcome(
+            expected_page_id, False, PageFailureKind.STALE_LSN,
+            f"PageLSN {page.page_lsn} < expected {expected_lsn}")
+    return CheckOutcome.passed(expected_page_id)

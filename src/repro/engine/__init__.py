@@ -1,0 +1,12 @@
+"""The database engine facade.
+
+:class:`repro.engine.Database` wires every substrate together: the
+simulated device, the recovery log, the buffer pool, transactions,
+Foster B-trees, the page recovery index, backups, detection, and the
+three recovery procedures (single-page, system/restart, media).
+"""
+
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+
+__all__ = ["Database", "EngineConfig"]

@@ -1,0 +1,82 @@
+"""Engine configuration.
+
+The configuration axes correspond to the comparisons the paper draws:
+
+* ``spf_enabled`` — whether single-page failures are a supported
+  failure class (off = the traditional baseline of Figure 1, where any
+  page failure becomes a media failure);
+* ``log_completed_writes`` — the Figure-4 restart-redo optimization on
+  its own; with ``spf_enabled`` the page-recovery-index update records
+  subsume it (Section 5.2.4), so it is forced on;
+* ``single_device_node`` — Figure 1's rightmost escalation: on a node
+  whose only storage device failed, a media failure is a system
+  failure;
+* ``backup_policy`` — the Section-6 freshness policy bounding the
+  per-page chain length and hence recovery time;
+* ``backup_profile`` — direct-access vs archive backup media
+  (Section 5.2.1's "less than ideal" remark, quantified).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.backup import BackupPolicy
+from repro.sim.iomodel import HDD_PROFILE, IOProfile
+
+
+@dataclass
+class EngineConfig:
+    """Everything needed to build a :class:`repro.engine.Database`."""
+
+    page_size: int = 4096
+    capacity_pages: int = 1024
+    buffer_capacity: int = 128
+
+    device_profile: IOProfile = HDD_PROFILE
+    log_profile: IOProfile = HDD_PROFILE
+    backup_profile: IOProfile = HDD_PROFILE
+
+    #: support single-page failures as a failure class
+    spf_enabled: bool = True
+    #: log completed writes / PRI updates (Figure 4 optimization)
+    log_completed_writes: bool = True
+    #: a media failure on this node is a system failure (Figure 1)
+    single_device_node: bool = False
+    #: partition the PRI for self-coverage (Section 5.2.2)
+    pri_partitioned: bool = True
+    #: proof-read pages after writing them (Section 2)
+    proof_read_writes: bool = False
+    #: cross-check the PageLSN of newly read pages against the PRI
+    #: (the "Gary Smith" check); disabled only for the detection
+    #: ablation — without it, lost writes go unnoticed
+    pri_lsn_check: bool = True
+
+    backup_policy: BackupPolicy = field(
+        default_factory=lambda: BackupPolicy(every_n_updates=100))
+
+    #: pages reserved for persisting the PRI (per partition)
+    pri_region_pages_per_partition: int = 8
+
+    #: fault-injection seed (all experiments are deterministic)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.spf_enabled:
+            # PRI maintenance subsumes logging completed writes.
+            self.log_completed_writes = True
+        if self.capacity_pages < self.data_start + 8:
+            raise ValueError("capacity too small for metadata + PRI region")
+
+    @property
+    def pri_region_start(self) -> int:
+        return 1  # page 0 is the metadata page
+
+    @property
+    def pri_region_end(self) -> int:
+        return self.pri_region_start + 2 * self.pri_region_pages_per_partition
+
+    @property
+    def data_start(self) -> int:
+        """First allocatable data page."""
+        return self.pri_region_end

@@ -1,0 +1,156 @@
+"""Traditional media recovery (Section 5.1.3).
+
+"Whereas system recovery scans the recovery log forward from the last
+checkpoint and ensures 'redo' of all logged updates, media recovery
+scans forward from the last backup of the failed media and ensures
+updates for the failed media only.  Due to the effort of restoring a
+backup copy, active transactions touching the failed media are
+aborted."
+
+The restore writes every backup page onto a *replacement device*; the
+replay then applies the entire log tail since the backup.  This is the
+expensive path whose duration Section 6 contrasts with single-page
+recovery — the benchmarks measure both on the same simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.buffer.buffer_pool import BufferPool
+from repro.errors import RecoveryError
+from repro.page.page import Page
+from repro.sim.clock import StopWatch
+from repro.storage.device import StorageDevice
+from repro.storage.faults import FaultInjector
+from repro.txn.transaction import Transaction
+from repro.wal.records import BackupRef, LogRecord, LogRecordKind, decompress_image
+
+
+@dataclass
+class MediaRecoveryReport:
+    """Cost breakdown of one media recovery."""
+
+    pages_restored: int = 0
+    bytes_restored: int = 0
+    records_replayed: int = 0
+    transactions_rolled_back: int = 0
+    restore_seconds: float = 0.0
+    replay_seconds: float = 0.0
+    loser_txn_ids: list[int] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.restore_seconds + self.replay_seconds
+
+
+def run_media_recovery(db, backup_id: int) -> MediaRecoveryReport:  # noqa: ANN001
+    """Replace the device and rebuild it from backup + log."""
+    report = MediaRecoveryReport()
+    cfg = db.config
+
+    # Find the backup's position in the log.
+    backup_lsn = None
+    for record in db.log.all_records():
+        if (record.kind == LogRecordKind.BACKUP_FULL
+                and record.backup_id == backup_id):
+            backup_lsn = record.lsn
+            break
+    if backup_lsn is None:
+        raise RecoveryError(f"no log record for full backup {backup_id}")
+
+    # ------------------------------------------------------------------
+    # Restore: install a replacement device and copy the backup onto it.
+    # ------------------------------------------------------------------
+    with StopWatch(db.clock) as watch:
+        replacement = StorageDevice(
+            f"{db.device.name}'", cfg.page_size, cfg.capacity_pages,
+            db.clock, cfg.device_profile, db.stats,
+            FaultInjector(seed=cfg.seed + 1),
+            proof_read=cfg.proof_read_writes)
+        images = db.backup_store.restore_full_backup(backup_id)
+        pages: dict[int, Page] = {}
+        for page_id, image in sorted(images.items()):
+            pages[page_id] = Page(cfg.page_size, image)
+            replacement.write(page_id, image, sequential=True)
+            report.pages_restored += 1
+            report.bytes_restored += len(image)
+    report.restore_seconds = watch.elapsed
+
+    # ------------------------------------------------------------------
+    # Replay: the whole log tail since the backup, pages of this device.
+    # ------------------------------------------------------------------
+    with StopWatch(db.clock) as watch:
+        att: dict[int, int] = {}
+        for record in db.log_reader.scan_from(backup_lsn):
+            if record.txn_id:
+                if record.kind in (LogRecordKind.COMMIT, LogRecordKind.SYS_COMMIT,
+                                   LogRecordKind.ABORT, LogRecordKind.TXN_END):
+                    att.pop(record.txn_id, None)
+                else:
+                    att[record.txn_id] = record.lsn
+            if not record.is_page_update or record.page_id < 0:
+                continue
+            page = pages.get(record.page_id)
+            if record.kind == LogRecordKind.FORMAT_PAGE:
+                page = Page.format(cfg.page_size, record.page_id)
+                pages[record.page_id] = page
+            if page is None:
+                # Updated page missing from the backup: it must have
+                # been formatted after the backup; the format record
+                # creates it above.  Anything else is a broken backup.
+                raise RecoveryError(
+                    f"page {record.page_id} not in backup {backup_id} and "
+                    f"no formatting record seen before LSN {record.lsn}")
+            if record.kind == LogRecordKind.FULL_PAGE_IMAGE:
+                as_of = record.page_lsn if record.page_lsn else record.lsn
+                if page.page_lsn < as_of:
+                    page.data[:] = decompress_image(record.image or b"")
+                    if page.page_lsn != as_of:
+                        page.page_lsn = as_of
+                    report.records_replayed += 1
+                continue
+            if record.op is None or page.page_lsn >= record.lsn:
+                continue
+            record.op.apply_redo(page)
+            page.page_lsn = record.lsn
+            report.records_replayed += 1
+        for page_id, page in sorted(pages.items()):
+            page.seal()
+            replacement.write(page_id, page.data, sequential=True)
+    report.replay_seconds = watch.elapsed
+
+    # ------------------------------------------------------------------
+    # Swap in the replacement and rebuild the volatile stack.
+    # ------------------------------------------------------------------
+    db.device = replacement
+    db._root_cache.clear()
+    db._trees.clear()
+    db._build_recovery_stack()
+    db.pool = BufferPool(
+        replacement, db.log, db.stats, cfg.buffer_capacity,
+        fetcher=db.recovery_manager.fetch_page,
+        on_page_cleaned=db._on_page_cleaned,
+        on_before_write=db._on_before_write)
+    if cfg.spf_enabled:
+        db.pri.set_range_backup(0, max(pages) + 1,
+                                BackupRef.full_backup(backup_id),
+                                backup_lsn, db.clock.now)
+        for page_id, page in pages.items():
+            db.pri.record_write(page_id, page.page_lsn)
+
+    # ------------------------------------------------------------------
+    # Roll back transactions that never committed (they were aborted by
+    # the media failure, but their replayed updates must be undone).
+    # ------------------------------------------------------------------
+    for txn_id, last_lsn in sorted(att.items(), key=lambda kv: -kv[1]):
+        txn = Transaction(txn_id)
+        txn.last_lsn = last_lsn
+        db.tm.rollback_work(txn, db)
+        db.log.append(LogRecord(LogRecordKind.ABORT, txn_id=txn_id,
+                                prev_lsn=txn.last_lsn))
+        report.transactions_rolled_back += 1
+        report.loser_txn_ids.append(txn_id)
+    db.log.force()
+    db.stats.bump("media_recoveries")
+    return report

@@ -1,0 +1,367 @@
+"""ARIES-style restart recovery with the paper's PRI integration.
+
+Three passes over the log (Section 5.1.2), plus the Figure-12 actions:
+
+* **Log analysis** (reads only the log): rebuilds the dirty page table
+  ("recovery requirements") and the active transaction table from the
+  last checkpoint.  An *update* record adds its page; a *PRI-update*
+  record — which doubles as a completed-write record — removes it, so
+  pages whose writes completed before the crash need no redo read at
+  all (the Figure-4 optimization).  Backup and format records replay
+  into the in-memory page recovery index.
+* **Redo** (physical): reads only the remaining required pages, applies
+  missing updates decided by the PageLSN, and verifies the per-page
+  chain ordering as it goes (the defensive check of Section 5.1.4).
+  Where a page turns out to be *already up to date* — it was written
+  but its PRI-update record was lost in the crash — restart generates
+  the missing PRI-update log record right away (Figure 12, bottom
+  row).
+* **Undo** (logical): rolls back loser transactions through the
+  indexes, writing CLRs.
+
+Before any of that, the persisted page recovery index is loaded from
+its reserved page region; a damaged PRI page is itself repaired by
+single-page recovery from its in-log full-page image — the structure is
+covered by its own mechanism (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.core.recovery_index import PageRecoveryIndex, PartitionedRecoveryIndex
+from repro.errors import PageFailureKind, RecoveryError, SinglePageFailure
+from repro.page.page import Page
+from repro.sim.clock import StopWatch
+from repro.storage.device import DeviceReadError
+from repro.txn.transaction import Transaction
+from repro.wal.lsn import LOG_START, NULL_LSN
+from repro.wal.records import BackupRef, LogRecord, LogRecordKind, decompress_image
+
+
+@dataclass
+class RestartReport:
+    """What restart recovery did and what it cost (simulated time)."""
+
+    analysis_records: int = 0
+    dirty_pages_at_analysis_end: int = 0
+    pages_trimmed_by_write_logging: int = 0
+    redo_pages_read: int = 0
+    redo_records_applied: int = 0
+    redo_pages_already_current: int = 0
+    pri_repair_records: int = 0
+    pri_pages_repaired: int = 0
+    undo_transactions: int = 0
+    analysis_seconds: float = 0.0
+    redo_seconds: float = 0.0
+    undo_seconds: float = 0.0
+    loser_txn_ids: list[int] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.analysis_seconds + self.redo_seconds + self.undo_seconds
+
+
+def run_restart(db) -> RestartReport:  # noqa: ANN001
+    """Run restart recovery against a crashed :class:`Database`."""
+    report = RestartReport()
+    cfg = db.config
+    db._crashed = False  # recovery itself may use engine services
+
+    if cfg.spf_enabled:
+        _load_pri(db, report)
+
+    with StopWatch(db.clock) as watch:
+        dpt, att, page_records, max_txn = _analysis(db, report)
+    report.analysis_seconds = watch.elapsed
+    report.dirty_pages_at_analysis_end = len(dpt)
+
+    with StopWatch(db.clock) as watch:
+        _redo(db, dpt, page_records, report)
+    report.redo_seconds = watch.elapsed
+
+    with StopWatch(db.clock) as watch:
+        _undo(db, att, report)
+    report.undo_seconds = watch.elapsed
+
+    db.tm.restore_txn_id_floor(max_txn)
+    db.log.force()
+    db.stats.bump("restarts")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Pass 1: log analysis
+# ----------------------------------------------------------------------
+def _analysis(db, report: RestartReport):  # noqa: ANN001
+    cfg = db.config
+    start_lsn = db.log.master_checkpoint_lsn or LOG_START
+    records = db.log_reader.scan_from(start_lsn)
+    dpt: dict[int, int] = {}
+    last_update: dict[int, int] = {}
+    att: dict[int, tuple[int, bool]] = {}
+    page_records: dict[int, list[LogRecord]] = {}
+    max_txn = 0
+    pri_region = range(cfg.pri_region_start, cfg.pri_region_end)
+
+    for record in records:
+        report.analysis_records += 1
+        kind = record.kind
+        if kind == LogRecordKind.CHECKPOINT_END and record.checkpoint is not None:
+            for page_id, rec_lsn in record.checkpoint.dirty_pages.items():
+                dpt.setdefault(page_id, rec_lsn)
+            for txn_id, last_lsn, is_system in record.checkpoint.active_txns:
+                att[txn_id] = (last_lsn, is_system)
+                max_txn = max(max_txn, txn_id)
+            continue
+        if record.txn_id:
+            max_txn = max(max_txn, record.txn_id)
+            if kind in (LogRecordKind.COMMIT, LogRecordKind.SYS_COMMIT,
+                        LogRecordKind.ABORT, LogRecordKind.TXN_END):
+                att.pop(record.txn_id, None)
+            else:
+                prior = att.get(record.txn_id)
+                att[record.txn_id] = (record.lsn, prior[1] if prior else False)
+        page_id = record.page_id
+        if record.is_page_update and page_id >= 0:
+            if (kind == LogRecordKind.FULL_PAGE_IMAGE
+                    and page_id in pri_region):
+                # PRI region pages were handled in the load phase.
+                continue
+            dpt.setdefault(page_id, record.lsn)
+            last_update[page_id] = record.lsn
+            page_records.setdefault(page_id, []).append(record)
+            if kind == LogRecordKind.FORMAT_PAGE and cfg.spf_enabled:
+                db.pri.set_backup(page_id, BackupRef.format_record(record.lsn),
+                                  record.lsn, db.clock.now)
+        elif kind == LogRecordKind.PRI_UPDATE and page_id >= 0:
+            # A completed write: everything logged up to page_lsn is on
+            # disk; the page leaves the recovery requirements (Figure
+            # 12, analysis row 2 / the Figure-4 optimization).
+            if last_update.get(page_id, NULL_LSN) <= record.page_lsn:
+                if page_id in dpt:
+                    dpt.pop(page_id)
+                    page_records.pop(page_id, None)
+                    report.pages_trimmed_by_write_logging += 1
+            if cfg.spf_enabled:
+                db.pri.record_write(page_id, record.page_lsn)
+        elif kind == LogRecordKind.BACKUP_PAGE and page_id >= 0:
+            if cfg.spf_enabled and record.backup_ref is not None:
+                db.pri.set_backup(page_id, record.backup_ref,
+                                  record.page_lsn, db.clock.now)
+        elif kind == LogRecordKind.BACKUP_FULL and cfg.spf_enabled:
+            lsns = db.backup_store.full_backup_lsns(record.backup_id)
+            if lsns:
+                db.pri.set_range_backup(0, max(lsns) + 1,
+                                        BackupRef.full_backup(record.backup_id),
+                                        record.lsn, db.clock.now)
+
+    # Records before the checkpoint for pages whose rec_lsn precedes it.
+    min_rec = min(dpt.values(), default=None)
+    if min_rec is not None and min_rec < start_lsn:
+        for record in db.log_reader.scan_from(min_rec):
+            if record.lsn >= start_lsn:
+                break
+            page_id = record.page_id
+            if (record.is_page_update and page_id in dpt
+                    and record.lsn >= dpt[page_id]):
+                page_records.setdefault(page_id, [])
+                page_records[page_id].insert(
+                    _insert_pos(page_records[page_id], record.lsn), record)
+    return dpt, att, page_records, max_txn
+
+
+def _insert_pos(records: list[LogRecord], lsn: int) -> int:
+    pos = 0
+    while pos < len(records) and records[pos].lsn < lsn:
+        pos += 1
+    return pos
+
+
+# ----------------------------------------------------------------------
+# Pass 2: redo
+# ----------------------------------------------------------------------
+def _redo(db, dpt: dict[int, int], page_records: dict[int, list[LogRecord]],
+          report: RestartReport) -> None:  # noqa: ANN001
+    for page_id in sorted(dpt):
+        records = page_records.get(page_id, [])
+        if not records:
+            continue
+        page = _read_for_redo(db, page_id)
+        report.redo_pages_read += 1
+        db.stats.bump("redo_page_reads")
+        applied = 0
+        for record in records:
+            if record.kind == LogRecordKind.FULL_PAGE_IMAGE:
+                as_of = record.page_lsn if record.page_lsn else record.lsn
+                if page.page_lsn < as_of:
+                    page.data[:] = decompress_image(record.image or b"")
+                    if page.page_lsn != as_of:
+                        page.page_lsn = as_of
+                    applied += 1
+                continue
+            if record.op is None:
+                continue
+            if page.page_lsn >= record.lsn:
+                continue  # already reflected on disk
+            # Defensive check (Section 5.1.4): the chain predicts the
+            # PageLSN every redo action must find.
+            if record.page_prev_lsn != page.page_lsn:
+                raise RecoveryError(
+                    f"redo chain mismatch on page {page_id}: record "
+                    f"{record.lsn} expects PageLSN {record.page_prev_lsn}, "
+                    f"page has {page.page_lsn}")
+            record.op.apply_redo(page)
+            page.page_lsn = record.lsn
+            applied += 1
+        report.redo_records_applied += applied
+        db.stats.bump("redo_records_applied", applied)
+        if applied == 0:
+            # Figure 12, bottom row: the data page had been written
+            # before the crash, but the PRI update was lost.  Generate
+            # the missing log record now; applying it to the index can
+            # happen lazily, exactly as in normal forward processing.
+            report.redo_pages_already_current += 1
+            if db.config.log_completed_writes:
+                db.log.append(LogRecord(LogRecordKind.PRI_UPDATE,
+                                        page_id=page_id,
+                                        page_lsn=page.page_lsn))
+                report.pri_repair_records += 1
+                db.stats.bump("pri_repair_records")
+                if db.config.spf_enabled:
+                    db.pri.record_write(page_id, page.page_lsn)
+        else:
+            # The page is dirty again; install it in the buffer pool so
+            # normal write-back (and PRI maintenance) applies.
+            installed = db.pool.fix_new(page)
+            db.pool.mark_dirty(page_id, records[0].lsn)
+            db.pool.unfix(page_id)
+            assert installed is page
+
+
+def _read_for_redo(db, page_id: int) -> Page:  # noqa: ANN001
+    """Fetch one page for redo; a failure here is a single-page failure."""
+    raw = db.device.raw_image(page_id)
+    if raw is None:
+        # Never reached the device: start from an unformatted page (the
+        # first record to replay is its formatting record).
+        return Page.format(db.config.page_size, page_id)
+    try:
+        data = db.device.read(page_id)
+        page = Page(db.config.page_size, data)
+        page.verify(expected_page_id=page_id)
+        return page
+    except (DeviceReadError, SinglePageFailure) as exc:
+        if isinstance(exc, SinglePageFailure):
+            failure = exc
+        else:
+            failure = SinglePageFailure(
+                page_id, PageFailureKind.DEVICE_READ_ERROR, str(exc))
+        # Single-page recovery during restart: the PRI was already
+        # reconstructed by the load + analysis phases.
+        page = db.recovery_manager.handle_failure(failure)
+        return page
+
+
+# ----------------------------------------------------------------------
+# Pass 3: undo
+# ----------------------------------------------------------------------
+def _undo(db, att: dict[int, tuple[int, bool]], report: RestartReport) -> None:  # noqa: ANN001
+    losers = sorted(att.items(), key=lambda item: -item[1][0])
+    for txn_id, (last_lsn, is_system) in losers:
+        txn = Transaction(txn_id, is_system=is_system)
+        txn.last_lsn = last_lsn
+        db.tm.rollback_work(txn, db)
+        db.log.append(LogRecord(LogRecordKind.ABORT, txn_id=txn_id,
+                                prev_lsn=txn.last_lsn))
+        report.undo_transactions += 1
+        report.loser_txn_ids.append(txn_id)
+        db.stats.bump("restart_undo_txns")
+
+
+# ----------------------------------------------------------------------
+# Phase 0: load the persisted page recovery index
+# ----------------------------------------------------------------------
+def _load_pri(db, report: RestartReport) -> None:  # noqa: ANN001
+    """Rebuild the in-memory PRI from its page region.
+
+    Every checkpoint rewrites the whole region, logging a full-page
+    image per page *before* the CHECKPOINT_END record — so the log tail
+    beginning at the master checkpoint always contains a backup for
+    each region page.  A region page that fails verification is rebuilt
+    from that image: single-page recovery applied to the recovery
+    index itself.
+    """
+    start_lsn = db.log.master_checkpoint_lsn
+    if not start_lsn:
+        return  # no checkpoint yet; analysis rebuilds from scratch
+    master = db.log.record_at(start_lsn)
+    if master.kind != LogRecordKind.CHECKPOINT_END or master.checkpoint is None:
+        return
+    fpi_by_page: dict[int, LogRecord] = {}
+    for page_id, lsn in master.checkpoint.pri_images.items():
+        if db.log.has_record(lsn):
+            fpi_by_page[page_id] = db.log.record_at(lsn)
+    if not fpi_by_page:
+        return
+
+    partitioned = isinstance(db.pri, PartitionedRecoveryIndex)
+    n_partitions = 2 if partitioned else 1
+    for p in range(n_partitions):
+        chunks: dict[int, bytes] = {}
+        total_pages = None
+        for page_id in db._pri_partition_pages(p):
+            record = fpi_by_page.get(page_id)
+            if record is None:
+                continue
+            page = _load_pri_page(db, page_id, record, report)
+            length, seq, total = struct.unpack_from("<IHH", page.data, 32)
+            total_pages = total
+            chunks[seq] = bytes(page.data[40:40 + length])
+        if total_pages is None:
+            continue
+        blob = b"".join(chunks[i] for i in sorted(chunks))
+        partition = PageRecoveryIndex.deserialize(blob)
+        if partitioned:
+            parts = list(db.pri.partitions)
+            parts[p] = partition
+            db.pri.partitions = tuple(parts)
+        else:
+            db.pri = partition
+            db._build_recovery_stack()
+            db.pool.fetcher = db.recovery_manager.fetch_page
+
+    # The region pages' own entries were created *after* the snapshots
+    # were serialized (self-coverage ordering); re-derive them from the
+    # image records just used, exactly as _persist_pri recorded them.
+    for page_id, record in fpi_by_page.items():
+        db.pri.set_backup(page_id, BackupRef.log_image(record.lsn),
+                          record.lsn, db.clock.now)
+        db.pri.record_write(page_id, record.lsn)
+
+
+def _load_pri_page(db, page_id: int, fpi: LogRecord,  # noqa: ANN001
+                   report: RestartReport) -> Page:
+    expected_lsn = fpi.lsn
+    try:
+        data = db.device.read(page_id)
+        page = Page(db.config.page_size, data)
+        page.verify(expected_page_id=page_id)
+        if page.page_lsn == expected_lsn:
+            return page
+    except Exception:  # noqa: BLE001 - any damage falls through to repair
+        pass
+    # The device copy is damaged or stale: restore from the in-log
+    # image (single-page recovery of the PRI, Section 5.2).
+    page = Page(db.config.page_size, decompress_image(fpi.image or b""))
+    page.page_lsn = expected_lsn
+    page.seal()
+    try:
+        db.device.remap(page_id, "PRI page failure at restart")
+    except Exception:  # noqa: BLE001 - remap is best-effort here
+        pass
+    db.device.write(page_id, page.data)
+    report.pri_pages_repaired += 1
+    db.stats.bump("pri_pages_repaired")
+    return page

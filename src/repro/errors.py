@@ -1,0 +1,159 @@
+"""Failure taxonomy for the reproduction.
+
+The paper's central claim is that database failures fall into *four*
+classes, not three.  This module encodes that taxonomy as an exception
+hierarchy plus a :class:`FailureClass` enum, so that every other module
+can raise, classify, and escalate failures uniformly.
+
+Escalation (paper, Figure 1): a single-page failure that cannot be
+handled locally is escalated to a media failure; a media failure on a
+node's only device is escalated to a system failure.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FailureClass(enum.Enum):
+    """The four failure classes of the paper (Section 3)."""
+
+    TRANSACTION = "transaction"
+    MEDIA = "media"
+    SYSTEM = "system"
+    SINGLE_PAGE = "single-page"
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration of a component."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-level failures."""
+
+    failure_class = FailureClass.TRANSACTION
+
+
+class TransactionAborted(TransactionError):
+    """A single transaction failed and was (or must be) rolled back."""
+
+    def __init__(self, txn_id: int, reason: str = "") -> None:
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class DeadlockError(TransactionAborted):
+    """Transaction chosen as deadlock victim."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-level errors."""
+
+
+class PageFailureKind(enum.Enum):
+    """Why a page read was rejected (detection layer, Section 4.2).
+
+    Each kind corresponds to one layer of the detection stack:
+
+    * ``DEVICE_READ_ERROR`` -- the device itself reported the read failed
+      (a "latent sector error" in the terminology of Bairavasundaram et
+      al.).
+    * ``CHECKSUM_MISMATCH`` -- in-page parity/checksum test failed
+      (bit rot, torn write).
+    * ``BAD_MAGIC`` / ``HEADER_IMPLAUSIBLE`` -- in-page plausibility
+      analysis of byte offsets and lengths failed.
+    * ``WRONG_PAGE_ID`` -- the page is internally consistent but belongs
+      elsewhere (misdirected write).
+    * ``STALE_LSN`` -- the PageLSN is older than the page recovery index
+      says it must be (lost write); this is the cross-check the paper
+      credits to Gary Smith.
+    * ``BTREE_INVARIANT`` -- fence keys do not match the parent's
+      separator keys (cross-page verification, Section 4.2).
+    """
+
+    DEVICE_READ_ERROR = "device-read-error"
+    CHECKSUM_MISMATCH = "checksum-mismatch"
+    BAD_MAGIC = "bad-magic"
+    HEADER_IMPLAUSIBLE = "header-implausible"
+    WRONG_PAGE_ID = "wrong-page-id"
+    STALE_LSN = "stale-lsn"
+    BTREE_INVARIANT = "btree-invariant"
+
+
+class SinglePageFailure(StorageError):
+    """A page could not be read correctly and plausibly (Section 3.2).
+
+    This is the paper's fourth failure class.  It is raised by the
+    detection layer and normally *handled* by single-page recovery;
+    callers of the engine only ever observe it if recovery itself is
+    disabled or impossible.
+    """
+
+    failure_class = FailureClass.SINGLE_PAGE
+
+    def __init__(self, page_id: int, kind: PageFailureKind, detail: str = "") -> None:
+        message = f"single-page failure on page {page_id}: {kind.value}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.page_id = page_id
+        self.kind = kind
+        self.detail = detail
+
+
+class MediaFailure(StorageError):
+    """An entire storage device failed or must be treated as failed."""
+
+    failure_class = FailureClass.MEDIA
+
+    def __init__(self, device_name: str, reason: str = "") -> None:
+        super().__init__(f"media failure on device '{device_name}': {reason}")
+        self.device_name = device_name
+        self.reason = reason
+
+
+class SystemFailure(ReproError):
+    """The whole node/DBMS failed and requires restart recovery."""
+
+    failure_class = FailureClass.SYSTEM
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(f"system failure: {reason}")
+        self.reason = reason
+
+
+class RecoveryError(ReproError):
+    """A recovery procedure itself could not complete."""
+
+
+class LogError(ReproError):
+    """Corrupt or inconsistent recovery log."""
+
+
+class BufferPoolError(ReproError):
+    """Buffer-pool protocol violation (e.g. evicting a pinned page)."""
+
+
+class BTreeError(ReproError):
+    """B-tree structural error that is not a page failure."""
+
+
+class KeyNotFound(BTreeError):
+    """Lookup or delete of a key that is not present."""
+
+    def __init__(self, key: bytes) -> None:
+        super().__init__(f"key not found: {key!r}")
+        self.key = key
+
+
+class DuplicateKey(BTreeError):
+    """Insert of a key that is already present."""
+
+    def __init__(self, key: bytes) -> None:
+        super().__init__(f"duplicate key: {key!r}")
+        self.key = key

@@ -1,0 +1,14 @@
+"""Heap files: record storage addressed by RID.
+
+The paper is explicit that "the recovery techniques discussed below
+apply to any storage structure" (Section 5.2) — not only B-trees.  The
+heap file is the second storage structure of this reproduction: records
+live wherever space is found and are addressed by a stable RID
+(page id, slot).  Heap pages flow through the same buffer pool, the
+same per-page log chains, the same page recovery index, and the same
+single-page recovery as B-tree nodes.
+"""
+
+from repro.heap.heapfile import RID, HeapFile
+
+__all__ = ["HeapFile", "RID"]

@@ -1,0 +1,216 @@
+"""The base page: fixed-size buffer with a self-describing header.
+
+Header layout (little-endian, 32 bytes)::
+
+    offset  size  field
+    0       4     magic        b"SPF1"
+    4       4     checksum     CRC32 over page with this field zeroed
+    8       8     page_id      the page's own identifier
+    16      8     page_lsn     LSN of the most recent log record for
+                               this page (anchor of the per-page chain)
+    24      1     page_type    PageType tag
+    25      1     flags        reserved
+    26      2     update_count updates since the last page backup
+                               (Section 6: "the number of updates can be
+                               counted within the page, incremented
+                               whenever the PageLSN changes")
+    28      4     reserved
+
+The ``update_count`` field implements the paper's backup-freshness
+policy hook: a page backup can be triggered "after a number of updates"
+counted within the page itself.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+from repro.errors import PageFailureKind, SinglePageFailure
+from repro.page import checksum as _checksum
+
+PAGE_MAGIC = b"SPF1"
+HEADER_SIZE = 32
+
+_HEADER_STRUCT = struct.Struct("<4sIqqBBHI")
+assert _HEADER_STRUCT.size == HEADER_SIZE  # final "I" is 4 reserved bytes
+
+#: LSN value meaning "no log record has ever touched this page".
+NULL_LSN = 0
+
+
+class PageType(enum.IntEnum):
+    """Type tag stored in every page header."""
+
+    FREE = 0
+    METADATA = 1
+    BTREE_BRANCH = 2
+    BTREE_LEAF = 3
+    HEAP = 4
+    RECOVERY_INDEX = 5
+    ALLOCATION = 6
+
+
+class PageHeader:
+    """Decoded view of a page header."""
+
+    __slots__ = ("magic", "checksum", "page_id", "page_lsn", "page_type",
+                 "flags", "update_count")
+
+    def __init__(self, magic: bytes, crc: int, page_id: int, page_lsn: int,
+                 page_type: int, flags: int, update_count: int) -> None:
+        self.magic = magic
+        self.checksum = crc
+        self.page_id = page_id
+        self.page_lsn = page_lsn
+        self.page_type = page_type
+        self.flags = flags
+        self.update_count = update_count
+
+    @classmethod
+    def unpack(cls, buf: bytes | bytearray | memoryview) -> "PageHeader":
+        magic, crc, page_id, page_lsn, ptype, flags, ucount, _reserved = (
+            _HEADER_STRUCT.unpack_from(bytes(buf[:HEADER_SIZE])))
+        return cls(magic, crc, page_id, page_lsn, ptype, flags, ucount)
+
+
+class Page:
+    """A fixed-size page with header maintenance and self-checks.
+
+    The page does not know about the buffer pool or the log; it only
+    maintains its own header fields and checksum.  ``page_lsn`` updates
+    also increment ``update_count``, the in-page counter the paper uses
+    to drive the page-backup policy.
+    """
+
+    __slots__ = ("data", "size")
+
+    def __init__(self, size: int, data: bytes | bytearray | None = None) -> None:
+        if size < HEADER_SIZE + 64:
+            raise ValueError(f"page size {size} too small")
+        self.size = size
+        if data is None:
+            self.data = bytearray(size)
+        else:
+            if len(data) != size:
+                raise ValueError(f"buffer length {len(data)} != page size {size}")
+            self.data = bytearray(data)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def format(cls, size: int, page_id: int,
+               page_type: PageType = PageType.FREE) -> "Page":
+        """Create a freshly formatted page with a valid header."""
+        page = cls(size)
+        _HEADER_STRUCT.pack_into(page.data, 0, PAGE_MAGIC, 0, page_id,
+                                 NULL_LSN, int(page_type), 0, 0, 0)
+        page.seal()
+        return page
+
+    def copy(self) -> "Page":
+        """A deep copy (used for backups and buffer-pool frames)."""
+        return Page(self.size, bytes(self.data))
+
+    # ------------------------------------------------------------------
+    # Header accessors
+    # ------------------------------------------------------------------
+    @property
+    def page_id(self) -> int:
+        return struct.unpack_from("<q", self.data, 8)[0]
+
+    @page_id.setter
+    def page_id(self, value: int) -> None:
+        struct.pack_into("<q", self.data, 8, value)
+
+    @property
+    def page_lsn(self) -> int:
+        return struct.unpack_from("<q", self.data, 16)[0]
+
+    @page_lsn.setter
+    def page_lsn(self, value: int) -> None:
+        """Set the PageLSN and bump the in-page update counter."""
+        struct.pack_into("<q", self.data, 16, value)
+        count = struct.unpack_from("<H", self.data, 26)[0]
+        if count < 0xFFFF:
+            struct.pack_into("<H", self.data, 26, count + 1)
+
+    @property
+    def page_type(self) -> PageType:
+        return PageType(self.data[24])
+
+    @page_type.setter
+    def page_type(self, value: PageType) -> None:
+        self.data[24] = int(value)
+
+    @property
+    def update_count(self) -> int:
+        """Updates applied since the counter was last reset.
+
+        Reset whenever a page backup is taken; drives the
+        backup-every-N-updates policy of Section 6.
+        """
+        return struct.unpack_from("<H", self.data, 26)[0]
+
+    def reset_update_count(self) -> None:
+        struct.pack_into("<H", self.data, 26, 0)
+
+    @property
+    def header(self) -> PageHeader:
+        return PageHeader.unpack(self.data)
+
+    # ------------------------------------------------------------------
+    # Checksum and verification
+    # ------------------------------------------------------------------
+    def seal(self) -> int:
+        """Recompute and store the checksum (done before every write)."""
+        return _checksum.store_checksum(self.data)
+
+    def checksum_ok(self) -> bool:
+        return _checksum.verify_checksum(self.data)
+
+    def verify(self, expected_page_id: int | None = None) -> None:
+        """Run all in-page plausibility tests; raise on the first failure.
+
+        This is the first two layers of the detection stack of
+        Section 4.2: magic + checksum, then header plausibility, then
+        the page-id cross-check against where the page was read from.
+        """
+        pid_for_error = expected_page_id if expected_page_id is not None else self.page_id
+        if bytes(self.data[:4]) != PAGE_MAGIC:
+            raise SinglePageFailure(pid_for_error, PageFailureKind.BAD_MAGIC,
+                                    f"magic={bytes(self.data[:4])!r}")
+        if not self.checksum_ok():
+            raise SinglePageFailure(pid_for_error, PageFailureKind.CHECKSUM_MISMATCH)
+        try:
+            PageType(self.data[24])
+        except ValueError:
+            raise SinglePageFailure(
+                pid_for_error, PageFailureKind.HEADER_IMPLAUSIBLE,
+                f"unknown page type {self.data[24]}") from None
+        if self.page_lsn < 0:
+            raise SinglePageFailure(pid_for_error, PageFailureKind.HEADER_IMPLAUSIBLE,
+                                    f"negative PageLSN {self.page_lsn}")
+        if expected_page_id is not None and self.page_id != expected_page_id:
+            raise SinglePageFailure(
+                expected_page_id, PageFailureKind.WRONG_PAGE_ID,
+                f"page claims to be {self.page_id}")
+
+    # ------------------------------------------------------------------
+    # Payload access
+    # ------------------------------------------------------------------
+    @property
+    def payload(self) -> memoryview:
+        """Writable view of the page body after the header."""
+        return memoryview(self.data)[HEADER_SIZE:]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Page) and self.data == other.data
+
+    def __hash__(self) -> int:  # pages are mutable; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Page(id={self.page_id}, type={self.page_type.name}, "
+                f"lsn={self.page_lsn}, updates={self.update_count})")

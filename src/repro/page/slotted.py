@@ -1,0 +1,315 @@
+"""Slotted page layout with an indirection vector and ghost records.
+
+Layout within the page body (after the 32-byte page header)::
+
+    +------------------+---------------------------+--------------+
+    | slotted header   | record heap (grows right) | free | slots |
+    +------------------+---------------------------+--------------+
+
+    slotted header (8 bytes):
+        slot_count   u16   number of slots (including ghosts)
+        heap_end     u16   offset (page-relative) of first free heap byte
+        frag_bytes   u16   reclaimable bytes from deleted records
+        reserved     u16
+
+    slot entry (4 bytes, stored from the end of the page backwards):
+        offset       u16   page-relative offset of the record, 0 = dead
+        length_flags u16   low 15 bits record length, high bit = ghost
+
+    record:
+        key_len      u16
+        key          bytes
+        value        bytes (length = record length - 2 - key_len)
+
+Ghost records (pseudo-deleted records, Section 5.1.5) keep their slot
+and bytes but are invisible to logical reads; ghost removal is a
+contents-neutral structural change performed by a system transaction.
+
+The indirection vector is exactly the structure the paper's in-page
+plausibility analysis inspects ("analysis of all byte offsets and
+lengths in the page header and in the indirection vector").
+:meth:`SlottedPage.check_plausible` implements that analysis.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import PageFailureKind, ReproError, SinglePageFailure
+from repro.page.page import HEADER_SIZE, Page
+
+_SLOTTED_HEADER = struct.Struct("<HHHH")
+SLOTTED_HEADER_SIZE = _SLOTTED_HEADER.size
+SLOT_SIZE = 4
+_GHOST_BIT = 0x8000
+_LENGTH_MASK = 0x7FFF
+
+
+class PageFullError(ReproError):
+    """Not enough contiguous or reclaimable space for an insertion."""
+
+
+@dataclass(frozen=True)
+class Record:
+    """A logical record: key, value, and ghost flag."""
+
+    key: bytes
+    value: bytes
+    ghost: bool = False
+
+    @property
+    def stored_length(self) -> int:
+        return 2 + len(self.key) + len(self.value)
+
+
+class SlottedPage:
+    """Record-level view over a :class:`Page`.
+
+    The class never allocates; it reads and writes the page buffer in
+    place so that the byte image is always the single source of truth
+    (a requirement for checksums, logging full-page images, and fault
+    injection on the raw bytes).
+    """
+
+    def __init__(self, page: Page) -> None:
+        self.page = page
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+    def initialize(self) -> None:
+        """Format the body as an empty slotted area."""
+        heap_start = HEADER_SIZE + SLOTTED_HEADER_SIZE
+        _SLOTTED_HEADER.pack_into(self.page.data, HEADER_SIZE, 0, heap_start, 0, 0)
+
+    # ------------------------------------------------------------------
+    # Header fields
+    # ------------------------------------------------------------------
+    @property
+    def slot_count(self) -> int:
+        return struct.unpack_from("<H", self.page.data, HEADER_SIZE)[0]
+
+    def _set_slot_count(self, n: int) -> None:
+        struct.pack_into("<H", self.page.data, HEADER_SIZE, n)
+
+    @property
+    def heap_end(self) -> int:
+        return struct.unpack_from("<H", self.page.data, HEADER_SIZE + 2)[0]
+
+    def _set_heap_end(self, off: int) -> None:
+        struct.pack_into("<H", self.page.data, HEADER_SIZE + 2, off)
+
+    @property
+    def frag_bytes(self) -> int:
+        return struct.unpack_from("<H", self.page.data, HEADER_SIZE + 4)[0]
+
+    def _set_frag_bytes(self, n: int) -> None:
+        struct.pack_into("<H", self.page.data, HEADER_SIZE + 4, n)
+
+    # ------------------------------------------------------------------
+    # Slot directory
+    # ------------------------------------------------------------------
+    def _slot_pos(self, index: int) -> int:
+        """Byte position of slot ``index`` (slots grow from page end)."""
+        return self.page.size - (index + 1) * SLOT_SIZE
+
+    def _read_slot(self, index: int) -> tuple[int, int, bool]:
+        pos = self._slot_pos(index)
+        offset, length_flags = struct.unpack_from("<HH", self.page.data, pos)
+        return offset, length_flags & _LENGTH_MASK, bool(length_flags & _GHOST_BIT)
+
+    def _write_slot(self, index: int, offset: int, length: int, ghost: bool) -> None:
+        if length > _LENGTH_MASK:
+            raise ValueError(f"record length {length} exceeds slot encoding")
+        length_flags = length | (_GHOST_BIT if ghost else 0)
+        struct.pack_into("<HH", self.page.data, self._slot_pos(index),
+                         offset, length_flags)
+
+    @property
+    def slots_start(self) -> int:
+        """Lowest byte position used by the slot directory."""
+        return self.page.size - self.slot_count * SLOT_SIZE
+
+    @property
+    def free_space(self) -> int:
+        """Contiguous free bytes between the heap and the slot directory."""
+        return self.slots_start - self.heap_end
+
+    def room_for(self, record: Record) -> bool:
+        """Can ``record`` be inserted, possibly after compaction?"""
+        needed = record.stored_length + SLOT_SIZE
+        return self.free_space + self.frag_bytes >= needed
+
+    # ------------------------------------------------------------------
+    # Record access
+    # ------------------------------------------------------------------
+    def read_record(self, index: int) -> Record:
+        """The record in slot ``index`` (ghosts included)."""
+        if not 0 <= index < self.slot_count:
+            raise IndexError(f"slot {index} out of range")
+        offset, length, ghost = self._read_slot(index)
+        key_len = struct.unpack_from("<H", self.page.data, offset)[0]
+        key = bytes(self.page.data[offset + 2:offset + 2 + key_len])
+        value = bytes(self.page.data[offset + 2 + key_len:offset + length])
+        return Record(key, value, ghost)
+
+    def record_key(self, index: int) -> bytes:
+        """The key in slot ``index`` without materializing the value."""
+        offset, _length, _ghost = self._read_slot(index)
+        key_len = struct.unpack_from("<H", self.page.data, offset)[0]
+        return bytes(self.page.data[offset + 2:offset + 2 + key_len])
+
+    def is_ghost(self, index: int) -> bool:
+        _offset, _length, ghost = self._read_slot(index)
+        return ghost
+
+    def records(self, include_ghosts: bool = False) -> list[Record]:
+        """All records in slot order."""
+        out = []
+        for i in range(self.slot_count):
+            rec = self.read_record(i)
+            if rec.ghost and not include_ghosts:
+                continue
+            out.append(rec)
+        return out
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, index: int, record: Record) -> None:
+        """Insert ``record`` at slot position ``index``, shifting slots up."""
+        if not 0 <= index <= self.slot_count:
+            raise IndexError(f"insert position {index} out of range")
+        needed = record.stored_length + SLOT_SIZE
+        if self.free_space < needed:
+            if self.free_space + self.frag_bytes >= needed:
+                self.compact()
+            if self.free_space < needed:
+                raise PageFullError(
+                    f"need {needed} bytes, have {self.free_space} "
+                    f"(+{self.frag_bytes} fragmented)")
+        offset = self._append_to_heap(record)
+        # Shift slot entries [index, slot_count) one position outward.
+        count = self.slot_count
+        for i in range(count, index, -1):
+            src = self._slot_pos(i - 1)
+            dst = self._slot_pos(i)
+            self.page.data[dst:dst + SLOT_SIZE] = self.page.data[src:src + SLOT_SIZE]
+        self._set_slot_count(count + 1)
+        self._write_slot(index, offset, record.stored_length, record.ghost)
+
+    def _append_to_heap(self, record: Record) -> int:
+        offset = self.heap_end
+        data = self.page.data
+        struct.pack_into("<H", data, offset, len(record.key))
+        body_start = offset + 2
+        data[body_start:body_start + len(record.key)] = record.key
+        value_start = body_start + len(record.key)
+        data[value_start:value_start + len(record.value)] = record.value
+        self._set_heap_end(offset + record.stored_length)
+        return offset
+
+    def update_value(self, index: int, value: bytes) -> None:
+        """Replace the value of the record in slot ``index``."""
+        old = self.read_record(index)
+        new = Record(old.key, value, old.ghost)
+        offset, length, _ghost = self._read_slot(index)
+        if new.stored_length <= length:
+            # Overwrite in place; excess bytes become fragmentation.
+            data = self.page.data
+            value_start = offset + 2 + len(old.key)
+            data[value_start:value_start + len(value)] = value
+            self._write_slot(index, offset, new.stored_length, old.ghost)
+            self._set_frag_bytes(self.frag_bytes + (length - new.stored_length))
+            return
+        # Relocate within the heap.
+        needed = new.stored_length
+        if self.free_space + self.frag_bytes + length < needed:
+            raise PageFullError(f"cannot grow record to {needed} bytes")
+        if self.free_space < needed:
+            # Retire the old bytes so compaction can reclaim them.
+            self._set_frag_bytes(self.frag_bytes + length)
+            self._write_slot(index, 0, 0, old.ghost)
+            self.compact()
+        else:
+            self._set_frag_bytes(self.frag_bytes + length)
+            self._write_slot(index, 0, 0, old.ghost)
+        new_offset = self._append_to_heap(new)
+        self._write_slot(index, new_offset, new.stored_length, old.ghost)
+
+    def mark_ghost(self, index: int, ghost: bool = True) -> None:
+        """Toggle the ghost (pseudo-deleted) bit of slot ``index``."""
+        offset, length, _old = self._read_slot(index)
+        self._write_slot(index, offset, length, ghost)
+
+    def remove(self, index: int) -> None:
+        """Physically remove slot ``index`` (ghost removal / compaction)."""
+        if not 0 <= index < self.slot_count:
+            raise IndexError(f"slot {index} out of range")
+        _offset, length, _ghost = self._read_slot(index)
+        self._set_frag_bytes(self.frag_bytes + length)
+        count = self.slot_count
+        for i in range(index, count - 1):
+            src = self._slot_pos(i + 1)
+            dst = self._slot_pos(i)
+            self.page.data[dst:dst + SLOT_SIZE] = self.page.data[src:src + SLOT_SIZE]
+        self._set_slot_count(count - 1)
+
+    def compact(self) -> None:
+        """Rewrite the heap to reclaim fragmented free space.
+
+        This is a contents-neutral structural change — in the engine it
+        runs under a system transaction (Section 5.1.5: "compacting a
+        page (to reclaim fragmented free space)").
+        """
+        live: list[tuple[int, Record]] = []
+        dead: list[int] = []
+        for i in range(self.slot_count):
+            offset, length, ghost = self._read_slot(i)
+            if offset == 0 and length == 0:
+                dead.append(i)  # slot temporarily retired by update_value
+            else:
+                live.append((i, self.read_record(i)))
+        heap_start = HEADER_SIZE + SLOTTED_HEADER_SIZE
+        self._set_heap_end(heap_start)
+        self._set_frag_bytes(0)
+        for index, record in live:
+            offset = self._append_to_heap(record)
+            self._write_slot(index, offset, record.stored_length, record.ghost)
+
+    # ------------------------------------------------------------------
+    # Plausibility analysis (failure detection, Section 4.2)
+    # ------------------------------------------------------------------
+    def check_plausible(self) -> None:
+        """Analyze all byte offsets and lengths; raise on implausibility."""
+        pid = self.page.page_id
+        heap_start = HEADER_SIZE + SLOTTED_HEADER_SIZE
+        heap_end = self.heap_end
+        count = self.slot_count
+        if heap_end < heap_start or heap_end > self.page.size:
+            raise SinglePageFailure(pid, PageFailureKind.HEADER_IMPLAUSIBLE,
+                                    f"heap_end {heap_end} out of range")
+        if count * SLOT_SIZE > self.page.size - heap_start:
+            raise SinglePageFailure(pid, PageFailureKind.HEADER_IMPLAUSIBLE,
+                                    f"slot count {count} impossible")
+        if heap_end > self.slots_start:
+            raise SinglePageFailure(pid, PageFailureKind.HEADER_IMPLAUSIBLE,
+                                    "heap overlaps slot directory")
+        for i in range(count):
+            offset, length, _ghost = self._read_slot(i)
+            if offset < heap_start or offset + length > heap_end:
+                raise SinglePageFailure(
+                    pid, PageFailureKind.HEADER_IMPLAUSIBLE,
+                    f"slot {i} points outside heap ({offset}, len {length})")
+            if length < 2:
+                raise SinglePageFailure(pid, PageFailureKind.HEADER_IMPLAUSIBLE,
+                                        f"slot {i} record too short")
+            key_len = struct.unpack_from("<H", self.page.data, offset)[0]
+            if 2 + key_len > length:
+                raise SinglePageFailure(
+                    pid, PageFailureKind.HEADER_IMPLAUSIBLE,
+                    f"slot {i} key length {key_len} exceeds record")
+
+    def __len__(self) -> int:
+        return self.slot_count

@@ -1,0 +1,25 @@
+"""Simulated time, I/O cost models, and counters.
+
+The reproduction performs all page-level work for real, but charges the
+*cost* of every device and log I/O to a simulated clock.  This is how
+the benchmarks reproduce the paper's Section-6 arithmetic (e.g. a
+100 GB restore at 100 MB/s taking about 1000 s) at laptop scale.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.iomodel import (
+    ARCHIVE_PROFILE,
+    FLASH_PROFILE,
+    HDD_PROFILE,
+    IOProfile,
+)
+from repro.sim.stats import Stats
+
+__all__ = [
+    "SimClock",
+    "IOProfile",
+    "HDD_PROFILE",
+    "FLASH_PROFILE",
+    "ARCHIVE_PROFILE",
+    "Stats",
+]

@@ -1,0 +1,54 @@
+"""A deterministic simulated clock.
+
+Components that perform "expensive" operations (device reads and
+writes, log forces, backup restores) advance the clock by the modeled
+cost of the operation.  Experiments read elapsed simulated time in
+seconds, which is the quantity the paper reasons about in Section 6.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time {seconds}")
+        self._now += seconds
+        return self._now
+
+    def elapsed_since(self, mark: float) -> float:
+        """Seconds elapsed since a previously recorded ``mark``."""
+        return self._now - mark
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"
+
+
+class StopWatch:
+    """Measure a span of simulated time on a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "StopWatch":
+        self._start = self._clock.now
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed = self._clock.now - self._start

@@ -1,0 +1,52 @@
+"""Operation counters shared across engine components.
+
+Experiments assert on these counters (for example, Figure 4's claim
+that logging completed writes lets restart redo skip page reads is
+verified by counting ``device_reads`` during recovery).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+
+class Stats:
+    """A named bag of monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counters: Counter[str] = Counter()
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increase counter ``name`` by ``amount``."""
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self._counters[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never bumped)."""
+        return self._counters[name]
+
+    def snapshot(self) -> dict[str, int]:
+        """A copy of all counters, for diffing before/after a phase."""
+        return dict(self._counters)
+
+    def delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Counters changed since ``before`` (a prior :meth:`snapshot`)."""
+        changed = {}
+        for name, value in self._counters.items():
+            previous = before.get(name, 0)
+            if value != previous:
+                changed[name] = value - previous
+        return changed
+
+    def reset(self) -> None:
+        """Zero out all counters."""
+        self._counters.clear()
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._counters.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self)
+        return f"Stats({inner})"

@@ -1,0 +1,48 @@
+"""Bad-block bookkeeping.
+
+After single-page recovery, "the old, failed location can be
+deallocated to the free space pool or registered in an appropriate data
+structure to prevent future use (bad block list)" (Section 5.2.3).
+Devices also use this list for write-time remapping ("bad block
+mapping", Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BadBlockEntry:
+    """One quarantined physical sector."""
+
+    sector: int
+    reason: str
+    at_time: float
+
+
+@dataclass
+class BadBlockList:
+    """Set of physical sectors that must never be used again."""
+
+    _entries: dict[int, BadBlockEntry] = field(default_factory=dict)
+
+    def add(self, sector: int, reason: str, at_time: float = 0.0) -> None:
+        self._entries.setdefault(
+            sector, BadBlockEntry(sector, reason, at_time))
+
+    def __contains__(self, sector: int) -> bool:
+        return sector in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[BadBlockEntry]:
+        return sorted(self._entries.values(), key=lambda e: e.sector)
+
+    def reasons(self) -> dict[str, int]:
+        """Histogram of quarantine reasons (for reporting)."""
+        hist: dict[str, int] = {}
+        for entry in self._entries.values():
+            hist[entry.reason] = hist.get(entry.reason, 0) + 1
+        return hist

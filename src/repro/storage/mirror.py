@@ -1,0 +1,60 @@
+"""A mirrored device pair (RAID-1 style).
+
+Section 2 of the paper observes that "most read operations employ only
+a single disk without checking the parity across the disk array" — so a
+mirror improves durability but does *not* detect silent corruption on
+the copy actually read.  :class:`MirroredDevice` models exactly that:
+writes go to both halves; reads come from the primary only, unless the
+caller explicitly asks the mirror half for a repair copy.
+
+This is also the substrate for the SQL Server database-mirroring
+baseline (``repro.baselines.mirror_repair``).
+"""
+
+from __future__ import annotations
+
+from repro.storage.device import DeviceReadError, StorageDevice
+
+
+class MirroredDevice:
+    """Two devices kept in lockstep by the write path."""
+
+    def __init__(self, primary: StorageDevice, mirror: StorageDevice) -> None:
+        if primary.page_size != mirror.page_size:
+            raise ValueError("mirror halves must share a page size")
+        if primary.capacity_pages != mirror.capacity_pages:
+            raise ValueError("mirror halves must share a capacity")
+        self.primary = primary
+        self.mirror = mirror
+        self.name = f"{primary.name}+{mirror.name}"
+        self.page_size = primary.page_size
+        self.capacity_pages = primary.capacity_pages
+
+    def read(self, page_id: int) -> bytearray:
+        """Read from the primary half only (no cross-checking)."""
+        return self.primary.read(page_id)
+
+    def read_from_mirror(self, page_id: int) -> bytearray:
+        """Explicitly fetch the mirror copy (repair path)."""
+        return self.mirror.read(page_id)
+
+    def read_with_fallback(self, page_id: int) -> bytearray:
+        """Read the primary; on an *explicit* device error, try the mirror.
+
+        Note this only helps with reported read errors; silently
+        corrupted primary reads are returned as-is, which is the
+        paper's point about single-disk reads.
+        """
+        try:
+            return self.primary.read(page_id)
+        except DeviceReadError:
+            return self.mirror.read(page_id)
+
+    def write(self, page_id: int, data: bytes | bytearray,
+              sequential: bool = False) -> None:
+        self.primary.write(page_id, data, sequential)
+        self.mirror.write(page_id, data, sequential)
+
+    @property
+    def bad_blocks(self):  # noqa: ANN201 - convenience passthrough
+        return self.primary.bad_blocks

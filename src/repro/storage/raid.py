@@ -1,0 +1,127 @@
+"""A RAID-5 array simulation for the introduction's anecdote.
+
+The paper opens with a real-world incident: "a disk started returning
+corrupted data for some sectors without actually failing the reads, so
+the controller didn't know anything was wrong and happily reported the
+raid5 array OK.  It has therefore been doing parity updates based on
+misread info so by now pulling the disk won't help a bit since it'll
+just recreate the info that was misread."
+
+:class:`Raid5Array` reproduces that dynamic faithfully:
+
+* data is striped across N devices with rotating parity;
+* normal reads touch only the data disk for the stripe unit (no parity
+  verification), so silent corruption passes through;
+* small writes use read-modify-write parity updates — and the
+  read-modify-write *reads the possibly-corrupt old data*, poisoning
+  the parity so that subsequent reconstruction regenerates the corrupt
+  image, exactly as in the anecdote;
+* :meth:`reconstruct` rebuilds a unit from the surviving disks + parity
+  (useful only while the parity is still clean).
+"""
+
+from __future__ import annotations
+
+from repro.storage.device import DeviceReadError, StorageDevice
+
+
+def _xor(blocks: list[bytes]) -> bytes:
+    out = bytearray(len(blocks[0]))
+    for block in blocks:
+        for i, byte in enumerate(block):
+            out[i] ^= byte
+    return bytes(out)
+
+
+class Raid5Array:
+    """Left-symmetric RAID-5 over ``len(devices)`` member devices.
+
+    Logical pages are distributed round-robin over the data units of
+    successive stripes.  With ``n`` devices, each stripe holds ``n - 1``
+    data units and 1 parity unit; the parity device for stripe ``s`` is
+    ``n - 1 - (s % n)``.
+    """
+
+    def __init__(self, devices: list[StorageDevice]) -> None:
+        if len(devices) < 3:
+            raise ValueError("RAID-5 needs at least 3 devices")
+        sizes = {d.page_size for d in devices}
+        if len(sizes) != 1:
+            raise ValueError("all members must share a page size")
+        caps = {d.capacity_pages for d in devices}
+        if len(caps) != 1:
+            raise ValueError("all members must share a capacity")
+        self.devices = devices
+        self.n = len(devices)
+        self.page_size = devices[0].page_size
+        self.capacity_pages = devices[0].capacity_pages * (self.n - 1)
+        self.name = "raid5(" + ",".join(d.name for d in devices) + ")"
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def _locate(self, page_id: int) -> tuple[int, int, int]:
+        """Map a logical page to (stripe, member device index, unit row)."""
+        if not 0 <= page_id < self.capacity_pages:
+            raise ValueError(f"page id {page_id} out of range")
+        stripe, offset = divmod(page_id, self.n - 1)
+        parity_dev = self.parity_device(stripe)
+        # Data units occupy the non-parity devices in order.
+        data_devs = [d for d in range(self.n) if d != parity_dev]
+        dev = data_devs[offset]
+        row = stripe % self.devices[0].capacity_pages
+        return stripe, dev, row
+
+    def parity_device(self, stripe: int) -> int:
+        return self.n - 1 - (stripe % self.n)
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def read(self, page_id: int) -> bytearray:
+        """Normal read: single disk, no parity check (Section 2)."""
+        _stripe, dev, row = self._locate(page_id)
+        return self.devices[dev].read(row)
+
+    def write(self, page_id: int, data: bytes | bytearray) -> None:
+        """Small write with read-modify-write parity update.
+
+        new_parity = old_parity XOR old_data XOR new_data.  If the old
+        data read returns silently corrupted bytes, the corruption is
+        folded into the parity — the poisoning mechanism of the
+        anecdote.
+        """
+        stripe, dev, row = self._locate(page_id)
+        parity_dev = self.parity_device(stripe)
+        try:
+            old_data = bytes(self.devices[dev].read(row))
+        except DeviceReadError:
+            old_data = b"\x00" * self.page_size
+        try:
+            old_parity = bytes(self.devices[parity_dev].read(row))
+        except DeviceReadError:
+            old_parity = b"\x00" * self.page_size
+        new_parity = _xor([old_parity, old_data, bytes(data)])
+        self.devices[dev].write(row, data)
+        self.devices[parity_dev].write(row, new_parity)
+
+    def reconstruct(self, page_id: int) -> bytes:
+        """Rebuild a unit from all *other* members (degraded read).
+
+        Returns whatever the parity arithmetic yields — if the parity
+        was poisoned by earlier read-modify-write cycles over corrupt
+        data, this faithfully "recreates the info that was misread".
+        """
+        stripe, dev, row = self._locate(page_id)
+        blocks = []
+        for i, member in enumerate(self.devices):
+            if i == dev:
+                continue
+            blocks.append(bytes(member.read(row)))
+        return _xor(blocks)
+
+    def scrub_stripe(self, stripe: int) -> bool:
+        """Verify parity of one stripe; True if consistent."""
+        row = stripe % self.devices[0].capacity_pages
+        blocks = [bytes(member.read(row)) for member in self.devices]
+        return _xor(blocks) == b"\x00" * self.page_size

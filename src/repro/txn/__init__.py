@@ -1,0 +1,22 @@
+"""Transactions: user and system transactions, rollback, locks.
+
+The paper leans on the distinction between *user transactions* (change
+logical database contents; commit forces the log) and *system
+transactions* (contents-neutral structural changes; commit does **not**
+force the log, Figure 5).  Page-recovery-index maintenance is logged as
+system transactions precisely so that it adds no forced log writes
+(Section 5.2.4).
+"""
+
+from repro.txn.locks import LockConflict, LockManager
+from repro.txn.manager import TransactionManager, UndoContext
+from repro.txn.transaction import Transaction, TxnState
+
+__all__ = [
+    "Transaction",
+    "TxnState",
+    "TransactionManager",
+    "UndoContext",
+    "LockManager",
+    "LockConflict",
+]

@@ -1,0 +1,206 @@
+"""The transaction manager: begin/commit/abort and rollback.
+
+Commit semantics follow Figure 5:
+
+* user transaction commit appends a COMMIT record and **forces** the
+  log (durability);
+* system transaction commit appends SYS_COMMIT without forcing — it
+  becomes durable with the next force, and if a crash intervenes the
+  (contents-neutral) transaction simply never happened.
+
+Rollback walks the per-transaction chain (Section 5.1.1) backwards,
+writing compensation log records (CLRs) whose ``undo_next_lsn`` makes
+rollback restartable, exactly as in ARIES.  Undo is *logical* where the
+record carries a :class:`LogicalUndo` (key-level compensation through
+the index — the original page may have split since), and physical
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.errors import TransactionError
+from repro.page.page import Page
+from repro.sim.stats import Stats
+from repro.txn.transaction import Transaction, TxnState
+from repro.wal.log_manager import LogManager
+from repro.wal.lsn import NULL_LSN
+from repro.wal.ops import OpInverse, PageOp
+from repro.wal.records import LogicalUndo, LogRecord, LogRecordKind
+
+
+class UndoContext(Protocol):
+    """What rollback needs from the engine."""
+
+    def fix_for_undo(self, page_id: int) -> Page:
+        """Bring a page into the buffer pool and return it (pinned)."""
+        ...
+
+    def done_with_undo_page(self, page_id: int, lsn: int) -> None:
+        """Unpin and mark dirty after an undo touched the page."""
+        ...
+
+    def logical_compensate(self, txn: Transaction, index_id: int,
+                           undo: LogicalUndo, undo_next_lsn: int) -> None:
+        """Perform key-level compensation through the index.
+
+        The callee performs the inverse operation and logs it as CLR(s)
+        whose ``undo_next_lsn`` skips the record being compensated, on
+        whatever page currently holds the key.
+        """
+        ...
+
+
+class TransactionManager:
+    """Owns transaction identity, logging, commit, and rollback."""
+
+    def __init__(self, log: LogManager, stats: Stats) -> None:
+        self.log = log
+        self.stats = stats
+        self._next_txn_id = 1
+        self.active: dict[int, Transaction] = {}
+        #: called with each finished txn id (lock release etc.)
+        self.on_finish: Callable[[Transaction], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, system: bool = False) -> Transaction:
+        txn = Transaction(self._next_txn_id, is_system=system)
+        self._next_txn_id += 1
+        self.active[txn.txn_id] = txn
+        self.stats.bump("system_txns_started" if system else "user_txns_started")
+        return txn
+
+    def restore_txn_id_floor(self, floor: int) -> None:
+        """After restart recovery, never reuse pre-crash txn ids."""
+        self._next_txn_id = max(self._next_txn_id, floor + 1)
+
+    def commit(self, txn: Transaction) -> int:
+        """Commit; returns the commit record's LSN."""
+        self._require_active(txn)
+        kind = LogRecordKind.SYS_COMMIT if txn.is_system else LogRecordKind.COMMIT
+        record = LogRecord(kind, txn_id=txn.txn_id, prev_lsn=txn.last_lsn)
+        lsn = self.log.append(record)
+        txn.note_logged(lsn)
+        if not txn.is_system:
+            # Durability: user commits force the log.  The force also
+            # hardens any earlier system-transaction commits ("prior to
+            # or with the commit record of any dependent user
+            # transaction").
+            self.log.force()
+            self.stats.bump("user_txns_committed")
+        else:
+            self.stats.bump("system_txns_committed")
+        txn.state = TxnState.COMMITTED
+        self._finish(txn)
+        return lsn
+
+    def abort(self, txn: Transaction, ctx: UndoContext) -> None:
+        """Roll back all of ``txn``'s updates and write the ABORT record."""
+        self._require_active(txn)
+        self.rollback_work(txn, ctx)
+        record = LogRecord(LogRecordKind.ABORT, txn_id=txn.txn_id,
+                           prev_lsn=txn.last_lsn)
+        lsn = self.log.append(record)
+        txn.note_logged(lsn)
+        txn.state = TxnState.ABORTED
+        self.stats.bump("txns_aborted")
+        self._finish(txn)
+
+    def _require_active(self, txn: Transaction) -> None:
+        if not txn.active:
+            raise TransactionError(
+                f"transaction {txn.txn_id} is {txn.state.value}")
+
+    def _finish(self, txn: Transaction) -> None:
+        self.active.pop(txn.txn_id, None)
+        if self.on_finish is not None:
+            self.on_finish(txn)
+
+    # ------------------------------------------------------------------
+    # Forward logging
+    # ------------------------------------------------------------------
+    def log_update(self, txn: Transaction, page: Page, index_id: int,
+                   op: PageOp, undo: LogicalUndo | None = None) -> int:
+        """Log and apply one page operation on behalf of ``txn``.
+
+        Ordering matters: the record captures the page's current
+        PageLSN as ``page_prev_lsn`` (extending the per-page chain),
+        the operation is applied, and the page's PageLSN advances to
+        the new record's LSN.
+        """
+        self._require_active(txn)
+        record = LogRecord(LogRecordKind.UPDATE, txn_id=txn.txn_id,
+                           prev_lsn=txn.last_lsn, page_id=page.page_id,
+                           page_prev_lsn=page.page_lsn, index_id=index_id,
+                           op=op, undo=undo)
+        lsn = self.log.append(record)
+        op.apply_redo(page)
+        page.page_lsn = lsn
+        txn.note_logged(lsn)
+        self.stats.bump("page_updates_logged")
+        return lsn
+
+    def log_format(self, txn: Transaction, page: Page, index_id: int,
+                   op: PageOp) -> int:
+        """Log a page-formatting record (also a backup image source)."""
+        self._require_active(txn)
+        record = LogRecord(LogRecordKind.FORMAT_PAGE, txn_id=txn.txn_id,
+                           prev_lsn=txn.last_lsn, page_id=page.page_id,
+                           page_prev_lsn=NULL_LSN, index_id=index_id, op=op)
+        lsn = self.log.append(record)
+        op.apply_redo(page)
+        page.page_lsn = lsn
+        page.reset_update_count()
+        txn.note_logged(lsn)
+        self.stats.bump("pages_formatted")
+        return lsn
+
+    def log_compensation(self, txn: Transaction, page: Page, index_id: int,
+                         op: PageOp, undo_next_lsn: int) -> int:
+        """Log and apply a compensation (CLR) during rollback."""
+        record = LogRecord(LogRecordKind.COMPENSATION, txn_id=txn.txn_id,
+                           prev_lsn=txn.last_lsn, page_id=page.page_id,
+                           page_prev_lsn=page.page_lsn, index_id=index_id,
+                           op=op, undo_next_lsn=undo_next_lsn)
+        lsn = self.log.append(record)
+        op.apply_redo(page)
+        page.page_lsn = lsn
+        txn.note_logged(lsn)
+        self.stats.bump("compensations_logged")
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Rollback
+    # ------------------------------------------------------------------
+    def rollback_work(self, txn: Transaction, ctx: UndoContext,
+                      to_lsn: int = NULL_LSN) -> None:
+        """Undo ``txn``'s updates back to (but excluding) ``to_lsn``.
+
+        Used both by :meth:`abort` and by restart undo.  CLRs are never
+        undone; their ``undo_next_lsn`` skips over already-compensated
+        work, making rollback idempotent across crashes.
+        """
+        lsn = txn.last_lsn
+        while lsn != NULL_LSN and lsn > to_lsn:
+            record = self.log.record_at(lsn)
+            if record.kind == LogRecordKind.COMPENSATION:
+                lsn = record.undo_next_lsn
+                continue
+            if record.kind != LogRecordKind.UPDATE:
+                lsn = record.prev_lsn
+                continue
+            if record.undo is not None:
+                # Logical (key-level) compensation through the index.
+                ctx.logical_compensate(txn, record.index_id, record.undo,
+                                       record.prev_lsn)
+            elif record.op is not None:
+                # Physical in-page undo.
+                page = ctx.fix_for_undo(record.page_id)
+                inverse = OpInverse(record.op)
+                clr_lsn = self.log_compensation(
+                    txn, page, record.index_id, inverse, record.prev_lsn)
+                ctx.done_with_undo_page(record.page_id, clr_lsn)
+            lsn = record.prev_lsn

@@ -1,0 +1,192 @@
+"""The append-only recovery log with stable-storage semantics.
+
+The log manager owns:
+
+* LSN assignment (byte offsets);
+* the in-memory log buffer and the *durable* prefix (``durable_lsn``);
+* force semantics: user-transaction commits force the log, system
+  transactions do not (Figure 5) — their commit records ride along
+  with the next force;
+* crash semantics: :meth:`crash` discards everything after the durable
+  prefix, which is how experiments create torn states (e.g. a data
+  page written but its PRI-update record lost, Figure 12).
+
+The recovery log is stable storage (Section 5): forced records are
+never lost and are not subject to fault injection.  Forces charge
+sequential-write cost to the simulated clock.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LogError
+from repro.sim.clock import SimClock
+from repro.sim.iomodel import IOProfile
+from repro.sim.stats import Stats
+from repro.wal.lsn import LOG_START, NULL_LSN
+from repro.wal.records import LogRecord, LogRecordKind
+
+
+class LogManager:
+    """Append-only log with an explicit durable prefix."""
+
+    def __init__(self, clock: SimClock, profile: IOProfile, stats: Stats) -> None:
+        self.clock = clock
+        self.profile = profile
+        self.stats = stats
+        self._records: dict[int, LogRecord] = {}
+        self._encoded: dict[int, bytes] = {}
+        self._order: list[int] = []
+        self._next_lsn = LOG_START
+        self._durable_lsn = NULL_LSN
+        #: LSN of the most recent CHECKPOINT_END record; modelled as the
+        #: log's "master record", which survives crashes.
+        self.master_checkpoint_lsn = NULL_LSN
+
+    # ------------------------------------------------------------------
+    # Appending and forcing
+    # ------------------------------------------------------------------
+    @property
+    def end_lsn(self) -> int:
+        """LSN one past the last appended record."""
+        return self._next_lsn
+
+    @property
+    def durable_lsn(self) -> int:
+        """All records with lsn < durable_lsn survive a crash...
+
+        More precisely: a record survives iff its *entire* encoding lies
+        within the durable prefix, i.e. ``record.lsn + len < durable``.
+        Since forces always land on record boundaries here, the simpler
+        ``lsn < durable_lsn`` test is equivalent.
+        """
+        return self._durable_lsn
+
+    def append(self, record: LogRecord) -> int:
+        """Assign an LSN, buffer the record, and return the LSN."""
+        encoded = record.encode()
+        lsn = self._next_lsn
+        record.lsn = lsn
+        self._records[lsn] = record
+        self._encoded[lsn] = encoded
+        self._order.append(lsn)
+        self._next_lsn = lsn + len(encoded)
+        self.stats.bump("log_records")
+        self.stats.bump("log_bytes", len(encoded))
+        return lsn
+
+    def force(self, up_to_lsn: int | None = None) -> None:
+        """Flush the log buffer to stable storage up to ``up_to_lsn``.
+
+        A no-op if the prefix is already durable (group commit).  The
+        cost model charges one sequential write for the pending bytes.
+        """
+        target = self._next_lsn if up_to_lsn is None else min(
+            max(up_to_lsn, self._durable_lsn), self._next_lsn)
+        if target <= self._durable_lsn:
+            return
+        pending = target - self._durable_lsn
+        self.clock.advance(self.profile.write_cost(pending, sequential=True))
+        self.stats.bump("log_forces")
+        self.stats.bump("log_forced_bytes", pending)
+        self._durable_lsn = target
+
+    def append_and_force(self, record: LogRecord) -> int:
+        lsn = self.append(record)
+        self.force()
+        return lsn
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def record_at(self, lsn: int) -> LogRecord:
+        """The record at ``lsn`` (no cost accounting; see LogReader)."""
+        try:
+            return self._records[lsn]
+        except KeyError:
+            raise LogError(f"no log record at LSN {lsn}") from None
+
+    def has_record(self, lsn: int) -> bool:
+        return lsn in self._records
+
+    def records_from(self, start_lsn: int) -> list[LogRecord]:
+        """All records with ``lsn >= start_lsn`` in log order."""
+        return [self._records[lsn] for lsn in self._order if lsn >= start_lsn]
+
+    def all_records(self) -> list[LogRecord]:
+        return [self._records[lsn] for lsn in self._order]
+
+    def encoded_size(self) -> int:
+        """Total log volume in bytes."""
+        return self._next_lsn - LOG_START
+
+    # ------------------------------------------------------------------
+    # Truncation (log head reclamation)
+    # ------------------------------------------------------------------
+    def truncate(self, before_lsn: int) -> int:
+        """Discard records with ``lsn < before_lsn``; returns bytes freed.
+
+        The caller must guarantee no retained structure needs the
+        discarded records: the engine computes the bound from the page
+        recovery index (no per-page chain may reach below the oldest
+        backup of any covered page) and the oldest active transaction.
+        Truncation never crosses the durable boundary backwards and
+        keeps the master checkpoint record.
+        """
+        limit = min(before_lsn, self._durable_lsn or before_lsn)
+        if self.master_checkpoint_lsn:
+            limit = min(limit, self.master_checkpoint_lsn)
+        removed = 0
+        kept: list[int] = []
+        for lsn in self._order:
+            if lsn < limit:
+                removed += len(self._encoded[lsn])
+                del self._records[lsn]
+                del self._encoded[lsn]
+            else:
+                kept.append(lsn)
+        self._order = kept
+        self._truncated_below = limit
+        self.stats.bump("log_truncations")
+        self.stats.bump("log_bytes_truncated", removed)
+        return removed
+
+    @property
+    def truncated_below(self) -> int:
+        """Records below this LSN have been reclaimed."""
+        return getattr(self, "_truncated_below", 0)
+
+    def retained_bytes(self) -> int:
+        """Log volume currently held (after truncation)."""
+        return sum(len(self._encoded[lsn]) for lsn in self._order)
+
+    # ------------------------------------------------------------------
+    # Crash semantics
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Discard all records beyond the durable prefix.
+
+        Models a system failure: the log buffer vanishes; stable
+        storage (the durable prefix and the master checkpoint pointer)
+        survives.
+        """
+        lost = [lsn for lsn in self._order if lsn >= self._durable_lsn]
+        for lsn in lost:
+            del self._records[lsn]
+            del self._encoded[lsn]
+        if lost:
+            self._order = self._order[:-len(lost)]
+        self._next_lsn = self._durable_lsn if self._durable_lsn else LOG_START
+        if self.master_checkpoint_lsn >= self._next_lsn:
+            # The checkpoint record itself was never forced; fall back.
+            self.master_checkpoint_lsn = NULL_LSN
+        self.stats.bump("log_crashes")
+
+    # ------------------------------------------------------------------
+    # Convenience constructors used across the engine
+    # ------------------------------------------------------------------
+    def log_checkpoint_end(self, checkpoint) -> int:  # noqa: ANN001
+        lsn = self.append(LogRecord(LogRecordKind.CHECKPOINT_END,
+                                    checkpoint=checkpoint))
+        self.force()
+        self.master_checkpoint_lsn = lsn
+        return lsn

@@ -1,0 +1,25 @@
+"""Log sequence numbers.
+
+An LSN is the byte offset of a record in the append-only recovery log.
+Offsets make log-volume accounting exact and give a natural total
+order.  ``NULL_LSN`` (0) means "no record"; real records start at
+``LOG_START`` so that 0 is never a valid record address.
+"""
+
+from __future__ import annotations
+
+#: "No log record" sentinel (e.g. PageLSN of a never-updated page).
+NULL_LSN = 0
+
+#: Offset of the first log record; the space below it is a log header.
+LOG_START = 64
+
+#: Size of one log page; following the per-page chain costs one random
+#: read per *distinct log page* touched, which is how the paper's
+#: "dozens of I/Os" estimate is accounted (Section 6).
+LOG_PAGE_SIZE = 8192
+
+
+def log_page_of(lsn: int) -> int:
+    """The log page number containing byte offset ``lsn``."""
+    return lsn // LOG_PAGE_SIZE

@@ -1,0 +1,281 @@
+"""Page operations: the redo/undo units carried by update log records.
+
+Each operation knows how to apply itself to a page ("redo" is physical,
+Section 5.1.2) and how to physically reverse itself ("undo" for pages
+that have not structurally changed; logical undo through the index is
+handled one level up, in the transaction manager).
+
+Operations serialize to explicit byte formats — no pickling — so log
+volume is measured honestly and the log could in principle be read by
+another implementation.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import LogError
+from repro.page.page import Page, PageType
+from repro.page.slotted import Record, SlottedPage
+
+
+def _pack_bytes(buf: bytes) -> bytes:
+    return struct.pack("<I", len(buf)) + buf
+
+
+def _unpack_bytes(data: bytes, offset: int) -> tuple[bytes, int]:
+    (length,) = struct.unpack_from("<I", data, offset)
+    start = offset + 4
+    return data[start:start + length], start + length
+
+
+class PageOp:
+    """Base class for operations applied to a single page."""
+
+    kind: int = -1
+
+    def apply_redo(self, page: Page) -> None:
+        raise NotImplementedError
+
+    def apply_undo(self, page: Page) -> None:
+        raise NotImplementedError
+
+    def encode(self) -> bytes:
+        raise NotImplementedError
+
+    @staticmethod
+    def decode(data: bytes) -> "PageOp":
+        if not data:
+            raise LogError("empty page-op payload")
+        kind = data[0]
+        try:
+            cls = _OP_REGISTRY[kind]
+        except KeyError:
+            raise LogError(f"unknown page-op kind {kind}") from None
+        return cls._decode_body(data)
+
+    @classmethod
+    def _decode_body(cls, data: bytes) -> "PageOp":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class OpInsert(PageOp):
+    """Insert a record at a slot position."""
+
+    slot: int
+    key: bytes
+    value: bytes
+    ghost: bool = False
+
+    kind = 1
+
+    def apply_redo(self, page: Page) -> None:
+        SlottedPage(page).insert(self.slot, Record(self.key, self.value, self.ghost))
+
+    def apply_undo(self, page: Page) -> None:
+        SlottedPage(page).remove(self.slot)
+
+    def encode(self) -> bytes:
+        return (struct.pack("<BHB", self.kind, self.slot, int(self.ghost))
+                + _pack_bytes(self.key) + _pack_bytes(self.value))
+
+    @classmethod
+    def _decode_body(cls, data: bytes) -> "OpInsert":
+        _kind, slot, ghost = struct.unpack_from("<BHB", data, 0)
+        key, pos = _unpack_bytes(data, 4)
+        value, _pos = _unpack_bytes(data, pos)
+        return cls(slot, key, value, bool(ghost))
+
+
+@dataclass(frozen=True)
+class OpDelete(PageOp):
+    """Physically remove the record at a slot (stores it for undo)."""
+
+    slot: int
+    key: bytes
+    value: bytes
+    ghost: bool = False
+
+    kind = 2
+
+    def apply_redo(self, page: Page) -> None:
+        SlottedPage(page).remove(self.slot)
+
+    def apply_undo(self, page: Page) -> None:
+        SlottedPage(page).insert(self.slot, Record(self.key, self.value, self.ghost))
+
+    def encode(self) -> bytes:
+        return (struct.pack("<BHB", self.kind, self.slot, int(self.ghost))
+                + _pack_bytes(self.key) + _pack_bytes(self.value))
+
+    @classmethod
+    def _decode_body(cls, data: bytes) -> "OpDelete":
+        _kind, slot, ghost = struct.unpack_from("<BHB", data, 0)
+        key, pos = _unpack_bytes(data, 4)
+        value, _pos = _unpack_bytes(data, pos)
+        return cls(slot, key, value, bool(ghost))
+
+
+@dataclass(frozen=True)
+class OpUpdateValue(PageOp):
+    """Replace the value of the record at a slot."""
+
+    slot: int
+    old_value: bytes
+    new_value: bytes
+
+    kind = 3
+
+    def apply_redo(self, page: Page) -> None:
+        SlottedPage(page).update_value(self.slot, self.new_value)
+
+    def apply_undo(self, page: Page) -> None:
+        SlottedPage(page).update_value(self.slot, self.old_value)
+
+    def encode(self) -> bytes:
+        return (struct.pack("<BH", self.kind, self.slot)
+                + _pack_bytes(self.old_value) + _pack_bytes(self.new_value))
+
+    @classmethod
+    def _decode_body(cls, data: bytes) -> "OpUpdateValue":
+        _kind, slot = struct.unpack_from("<BH", data, 0)
+        old, pos = _unpack_bytes(data, 3)
+        new, _pos = _unpack_bytes(data, pos)
+        return cls(slot, old, new)
+
+
+@dataclass(frozen=True)
+class OpSetGhost(PageOp):
+    """Toggle the ghost bit of the record at a slot.
+
+    Logical deletion turns a record into a ghost; ghost removal (a
+    system transaction) later reclaims the space with :class:`OpDelete`.
+    """
+
+    slot: int
+    old_ghost: bool
+    new_ghost: bool
+
+    kind = 4
+
+    def apply_redo(self, page: Page) -> None:
+        SlottedPage(page).mark_ghost(self.slot, self.new_ghost)
+
+    def apply_undo(self, page: Page) -> None:
+        SlottedPage(page).mark_ghost(self.slot, self.old_ghost)
+
+    def encode(self) -> bytes:
+        return struct.pack("<BHBB", self.kind, self.slot,
+                           int(self.old_ghost), int(self.new_ghost))
+
+    @classmethod
+    def _decode_body(cls, data: bytes) -> "OpSetGhost":
+        _kind, slot, old, new = struct.unpack_from("<BHBB", data, 0)
+        return cls(slot, bool(old), bool(new))
+
+
+@dataclass(frozen=True)
+class OpWriteBytes(PageOp):
+    """Raw byte-range write within a page (header fields, fences...).
+
+    Used for structural metadata that is not record-shaped, e.g. a
+    B-tree node's fence keys or foster pointer.
+    """
+
+    offset: int
+    old_bytes: bytes
+    new_bytes: bytes
+
+    kind = 5
+
+    def __post_init__(self) -> None:
+        if len(self.old_bytes) != len(self.new_bytes):
+            raise ValueError("byte-range op must preserve length")
+
+    def apply_redo(self, page: Page) -> None:
+        end = self.offset + len(self.new_bytes)
+        page.data[self.offset:end] = self.new_bytes
+
+    def apply_undo(self, page: Page) -> None:
+        end = self.offset + len(self.old_bytes)
+        page.data[self.offset:end] = self.old_bytes
+
+    def encode(self) -> bytes:
+        return (struct.pack("<BH", self.kind, self.offset)
+                + _pack_bytes(self.old_bytes) + _pack_bytes(self.new_bytes))
+
+    @classmethod
+    def _decode_body(cls, data: bytes) -> "OpWriteBytes":
+        _kind, offset = struct.unpack_from("<BH", data, 0)
+        old, pos = _unpack_bytes(data, 3)
+        new, _pos = _unpack_bytes(data, pos)
+        return cls(offset, old, new)
+
+
+@dataclass(frozen=True)
+class OpInitSlotted(PageOp):
+    """Format a page as an empty slotted page of a given type.
+
+    "When a data page is reformatted ... it has the same effect as a
+    successful write operation: 'redo' for all prior log records is not
+    required" (Section 5.1.2).  The formatting log record can also
+    serve as the page's backup image (Section 5.2.1).
+    """
+
+    page_type: PageType
+
+    kind = 6
+
+    def apply_redo(self, page: Page) -> None:
+        page.page_type = self.page_type
+        slotted = SlottedPage(page)
+        slotted.initialize()
+
+    def apply_undo(self, page: Page) -> None:
+        # Formatting runs in system transactions, which never undo
+        # individual operations: they roll forward or vanish entirely.
+        raise LogError("page formatting cannot be undone")
+
+    def encode(self) -> bytes:
+        return struct.pack("<BB", self.kind, int(self.page_type))
+
+    @classmethod
+    def _decode_body(cls, data: bytes) -> "OpInitSlotted":
+        _kind, ptype = struct.unpack_from("<BB", data, 0)
+        return cls(PageType(ptype))
+
+
+@dataclass(frozen=True)
+class OpInverse(PageOp):
+    """The inverse of another operation, as a redo-only op.
+
+    Compensation log records (CLRs) are redo-only: replaying a CLR must
+    re-apply the *undo* of the original operation.  Wrapping the
+    original op keeps CLRs in the same serialization scheme.
+    """
+
+    original: PageOp
+
+    kind = 99
+
+    def apply_redo(self, page: Page) -> None:
+        self.original.apply_undo(page)
+
+    def apply_undo(self, page: Page) -> None:
+        raise LogError("compensation operations are never undone")
+
+    def encode(self) -> bytes:
+        return bytes([self.kind]) + self.original.encode()
+
+    @classmethod
+    def _decode_body(cls, data: bytes) -> "OpInverse":
+        return cls(PageOp.decode(data[1:]))
+
+
+_OP_REGISTRY: dict[int, type[PageOp]] = {
+    cls.kind: cls
+    for cls in (OpInsert, OpDelete, OpUpdateValue, OpSetGhost,
+                OpWriteBytes, OpInitSlotted, OpInverse)
+}

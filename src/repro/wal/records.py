@@ -1,0 +1,305 @@
+"""Typed log records with explicit byte serialization.
+
+Record header (45 bytes)::
+
+    total_len      u32   length of the whole serialized record
+    kind           u8    LogRecordKind
+    txn_id         i64   owning transaction (0 = none)
+    prev_lsn       i64   per-transaction chain (Section 5.1.1)
+    page_id        i64   affected page (-1 = none)
+    page_prev_lsn  i64   per-page chain (Section 5.1.4)
+    index_id       i64   owning index/table (0 = none)
+
+followed by a kind-specific payload.  The ``page_prev_lsn`` field is
+the heart of the paper's recovery design: it lets single-page recovery
+walk backwards from the current PageLSN to the last backup without
+scanning the log.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import LogError
+from repro.wal.ops import PageOp, _pack_bytes, _unpack_bytes
+
+_HEADER = struct.Struct("<IBqqqqq")
+HEADER_SIZE = _HEADER.size
+
+
+class LogRecordKind(enum.IntEnum):
+    """All record kinds written by the engine."""
+
+    UPDATE = 1              #: page update by a user or system transaction
+    COMPENSATION = 2        #: CLR written during rollback
+    COMMIT = 3              #: user-transaction commit (forces the log)
+    ABORT = 4               #: transaction rollback finished
+    TXN_END = 5             #: transaction fully finished
+    SYS_COMMIT = 6          #: system-transaction commit (no log force)
+    FORMAT_PAGE = 7         #: page (re)formatted after allocation
+    FULL_PAGE_IMAGE = 8     #: compressed full image (in-log page backup)
+    PRI_UPDATE = 9          #: page-recovery-index update == completed write
+    CHECKPOINT_BEGIN = 10
+    CHECKPOINT_END = 11
+    BACKUP_PAGE = 12        #: an explicit per-page backup copy was taken
+    BACKUP_FULL = 13        #: a full database backup completed
+
+
+class BackupRefKind(enum.IntEnum):
+    """Where a page's most recent backup image lives (Figure 7)."""
+
+    NONE = 0
+    PAGE_COPY = 1      #: explicit page copy; value = backup-store location
+    LOG_IMAGE = 2      #: full page image in the log; value = its LSN
+    FULL_BACKUP = 3    #: member of a full database backup; value = backup id
+    FORMAT_RECORD = 4  #: formatting log record; value = its LSN
+
+
+@dataclass(frozen=True)
+class BackupRef:
+    """Reference to a page backup image (one of Figure 7's alternatives)."""
+
+    kind: BackupRefKind
+    value: int
+
+    @classmethod
+    def none(cls) -> "BackupRef":
+        return cls(BackupRefKind.NONE, 0)
+
+    @classmethod
+    def page_copy(cls, location: int) -> "BackupRef":
+        return cls(BackupRefKind.PAGE_COPY, location)
+
+    @classmethod
+    def log_image(cls, lsn: int) -> "BackupRef":
+        return cls(BackupRefKind.LOG_IMAGE, lsn)
+
+    @classmethod
+    def full_backup(cls, backup_id: int) -> "BackupRef":
+        return cls(BackupRefKind.FULL_BACKUP, backup_id)
+
+    @classmethod
+    def format_record(cls, lsn: int) -> "BackupRef":
+        return cls(BackupRefKind.FORMAT_RECORD, lsn)
+
+
+class UndoAction(enum.IntEnum):
+    """Logical undo actions (compensation, Section 5.1.2: 'undo' is
+    logical, i.e., applies to the same key values)."""
+
+    NONE = 0
+    DELETE_KEY = 1     #: compensate an insert
+    INSERT_KEY = 2     #: compensate a delete
+    RESTORE_VALUE = 3  #: compensate an update
+
+
+@dataclass(frozen=True)
+class LogicalUndo:
+    """Key-level undo information carried by user-transaction updates."""
+
+    action: UndoAction
+    key: bytes
+    value: bytes = b""
+
+    def encode(self) -> bytes:
+        return (struct.pack("<B", int(self.action))
+                + _pack_bytes(self.key) + _pack_bytes(self.value))
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> tuple["LogicalUndo", int]:
+        action = UndoAction(data[offset])
+        key, pos = _unpack_bytes(data, offset + 1)
+        value, pos = _unpack_bytes(data, pos)
+        return cls(action, key, value), pos
+
+
+@dataclass
+class CheckpointData:
+    """Payload of a CHECKPOINT_END record.
+
+    The two ARIES checkpoint tables (dirty pages, active transactions)
+    plus ``pri_images``: the LSNs of the full-page-image records the
+    checkpoint wrote for each page-recovery-index region page — restart
+    uses them to locate (and if necessary repair) the persisted PRI
+    (Section 5.2.6).
+    """
+
+    dirty_pages: dict[int, int] = field(default_factory=dict)
+    active_txns: list[tuple[int, int, bool]] = field(default_factory=list)
+    pri_images: dict[int, int] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        out = [struct.pack("<III", len(self.dirty_pages),
+                           len(self.active_txns), len(self.pri_images))]
+        for page_id, rec_lsn in sorted(self.dirty_pages.items()):
+            out.append(struct.pack("<qq", page_id, rec_lsn))
+        for txn_id, last_lsn, is_system in self.active_txns:
+            out.append(struct.pack("<qqB", txn_id, last_lsn, int(is_system)))
+        for page_id, lsn in sorted(self.pri_images.items()):
+            out.append(struct.pack("<qq", page_id, lsn))
+        return b"".join(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CheckpointData":
+        n_dirty, n_txns, n_images = struct.unpack_from("<III", data, 0)
+        pos = 12
+        dirty = {}
+        for _ in range(n_dirty):
+            page_id, rec_lsn = struct.unpack_from("<qq", data, pos)
+            dirty[page_id] = rec_lsn
+            pos += 16
+        txns = []
+        for _ in range(n_txns):
+            txn_id, last_lsn, is_system = struct.unpack_from("<qqB", data, pos)
+            txns.append((txn_id, last_lsn, bool(is_system)))
+            pos += 17
+        images = {}
+        for _ in range(n_images):
+            page_id, lsn = struct.unpack_from("<qq", data, pos)
+            images[page_id] = lsn
+            pos += 16
+        return cls(dirty, txns, images)
+
+
+@dataclass
+class LogRecord:
+    """One recovery-log record.
+
+    ``lsn`` is assigned by the log manager at append time.  Fields that
+    do not apply to a given kind are left at their defaults.
+    """
+
+    kind: LogRecordKind
+    txn_id: int = 0
+    prev_lsn: int = 0
+    page_id: int = -1
+    page_prev_lsn: int = 0
+    index_id: int = 0
+    lsn: int = 0
+
+    # Kind-specific payloads.
+    op: PageOp | None = None                 #: UPDATE / COMPENSATION / FORMAT
+    undo: LogicalUndo | None = None          #: UPDATE by user transactions
+    undo_next_lsn: int = 0                   #: COMPENSATION
+    image: bytes | None = None               #: FULL_PAGE_IMAGE (compressed)
+    page_lsn: int = 0                        #: PRI_UPDATE / BACKUP_PAGE
+    backup_ref: BackupRef | None = None      #: PRI_UPDATE / BACKUP_PAGE
+    checkpoint: CheckpointData | None = None #: CHECKPOINT_END
+    backup_id: int = 0                       #: BACKUP_FULL
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        payload = self._encode_payload()
+        total = HEADER_SIZE + len(payload)
+        header = _HEADER.pack(total, int(self.kind), self.txn_id,
+                              self.prev_lsn, self.page_id,
+                              self.page_prev_lsn, self.index_id)
+        return header + payload
+
+    def _encode_payload(self) -> bytes:
+        kind = self.kind
+        if kind in (LogRecordKind.UPDATE,):
+            flags = (1 if self.op else 0) | (2 if self.undo else 0)
+            out = [struct.pack("<B", flags)]
+            if self.op:
+                out.append(_pack_bytes(self.op.encode()))
+            if self.undo:
+                out.append(self.undo.encode())
+            return b"".join(out)
+        if kind == LogRecordKind.COMPENSATION:
+            out = [struct.pack("<q", self.undo_next_lsn)]
+            out.append(_pack_bytes(self.op.encode() if self.op else b""))
+            return b"".join(out)
+        if kind == LogRecordKind.FORMAT_PAGE:
+            return _pack_bytes(self.op.encode() if self.op else b"")
+        if kind == LogRecordKind.FULL_PAGE_IMAGE:
+            return struct.pack("<q", self.page_lsn) + _pack_bytes(self.image or b"")
+        if kind in (LogRecordKind.PRI_UPDATE, LogRecordKind.BACKUP_PAGE):
+            ref = self.backup_ref or BackupRef.none()
+            return struct.pack("<qBq", self.page_lsn, int(ref.kind), ref.value)
+        if kind == LogRecordKind.CHECKPOINT_END:
+            data = (self.checkpoint or CheckpointData()).encode()
+            return _pack_bytes(data)
+        if kind == LogRecordKind.BACKUP_FULL:
+            return struct.pack("<q", self.backup_id)
+        # COMMIT, ABORT, TXN_END, SYS_COMMIT, CHECKPOINT_BEGIN
+        return b""
+
+    @classmethod
+    def decode(cls, data: bytes) -> "LogRecord":
+        if len(data) < HEADER_SIZE:
+            raise LogError("truncated log record header")
+        total, kind_raw, txn_id, prev_lsn, page_id, page_prev_lsn, index_id = (
+            _HEADER.unpack_from(data, 0))
+        if total != len(data):
+            raise LogError(f"log record length mismatch: {total} != {len(data)}")
+        kind = LogRecordKind(kind_raw)
+        record = cls(kind, txn_id, prev_lsn, page_id, page_prev_lsn, index_id)
+        payload = data[HEADER_SIZE:]
+        record._decode_payload(payload)
+        return record
+
+    def _decode_payload(self, payload: bytes) -> None:
+        kind = self.kind
+        if kind == LogRecordKind.UPDATE:
+            flags = payload[0]
+            pos = 1
+            if flags & 1:
+                op_bytes, pos = _unpack_bytes(payload, pos)
+                self.op = PageOp.decode(op_bytes)
+            if flags & 2:
+                self.undo, pos = LogicalUndo.decode(payload, pos)
+        elif kind == LogRecordKind.COMPENSATION:
+            (self.undo_next_lsn,) = struct.unpack_from("<q", payload, 0)
+            op_bytes, _pos = _unpack_bytes(payload, 8)
+            if op_bytes:
+                self.op = PageOp.decode(op_bytes)
+        elif kind == LogRecordKind.FORMAT_PAGE:
+            op_bytes, _pos = _unpack_bytes(payload, 0)
+            if op_bytes:
+                self.op = PageOp.decode(op_bytes)
+        elif kind == LogRecordKind.FULL_PAGE_IMAGE:
+            (self.page_lsn,) = struct.unpack_from("<q", payload, 0)
+            self.image, _pos = _unpack_bytes(payload, 8)
+        elif kind in (LogRecordKind.PRI_UPDATE, LogRecordKind.BACKUP_PAGE):
+            page_lsn, ref_kind, ref_value = struct.unpack_from("<qBq", payload, 0)
+            self.page_lsn = page_lsn
+            self.backup_ref = BackupRef(BackupRefKind(ref_kind), ref_value)
+        elif kind == LogRecordKind.CHECKPOINT_END:
+            data, _pos = _unpack_bytes(payload, 0)
+            self.checkpoint = CheckpointData.decode(data)
+        elif kind == LogRecordKind.BACKUP_FULL:
+            (self.backup_id,) = struct.unpack_from("<q", payload, 0)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_page_update(self) -> bool:
+        """Does this record change page contents (i.e. has redo work)?"""
+        return self.kind in (LogRecordKind.UPDATE, LogRecordKind.COMPENSATION,
+                             LogRecordKind.FORMAT_PAGE,
+                             LogRecordKind.FULL_PAGE_IMAGE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bits = [f"lsn={self.lsn}", self.kind.name]
+        if self.txn_id:
+            bits.append(f"txn={self.txn_id}")
+        if self.page_id >= 0:
+            bits.append(f"page={self.page_id}<-{self.page_prev_lsn}")
+        return f"LogRecord({', '.join(bits)})"
+
+
+def compress_image(data: bytes | bytearray) -> bytes:
+    """Compress a full page image for in-log storage (Section 5.2.1:
+    'presumably compressed')."""
+    return zlib.compress(bytes(data), level=1)
+
+
+def decompress_image(blob: bytes) -> bytes:
+    return zlib.decompress(blob)

@@ -1,0 +1,6 @@
+"""Workload generators and the fleet failure model."""
+
+from repro.workloads.fleet import FleetModel, FleetOutcome
+from repro.workloads.generator import KeyValueWorkload, WorkloadSpec
+
+__all__ = ["KeyValueWorkload", "WorkloadSpec", "FleetModel", "FleetOutcome"]

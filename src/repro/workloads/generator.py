@@ -1,0 +1,124 @@
+"""Deterministic key-value workloads.
+
+Experiments need update streams whose page-touch patterns are
+controllable: uniform streams touch all pages evenly; skewed (Zipf)
+streams concentrate updates on few pages, which is what makes the
+per-page backup policy of Section 6 interesting ("taking copies of
+frequently updated data pages takes less space than a traditional
+differential backup").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of a key-value workload."""
+
+    n_keys: int = 1000
+    key_length: int = 12
+    value_length: int = 32
+    skew: float = 0.0          #: 0 = uniform; >0 = Zipf exponent
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_keys <= 0:
+            raise ValueError("need at least one key")
+        if self.skew < 0:
+            raise ValueError("skew must be non-negative")
+
+
+class KeyValueWorkload:
+    """Generates keys, values, and operation streams."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        self._zipf_cdf: list[float] | None = None
+        if spec.skew > 0:
+            weights = [1.0 / math.pow(rank + 1, spec.skew)
+                       for rank in range(spec.n_keys)]
+            total = sum(weights)
+            cumulative = 0.0
+            self._zipf_cdf = []
+            for weight in weights:
+                cumulative += weight / total
+                self._zipf_cdf.append(cumulative)
+
+    # ------------------------------------------------------------------
+    # Keys and values
+    # ------------------------------------------------------------------
+    def key(self, i: int) -> bytes:
+        """The ``i``-th key (zero-padded decimal, sorts numerically)."""
+        return b"k%0*d" % (self.spec.key_length - 1, i)
+
+    def value(self, i: int, version: int = 0) -> bytes:
+        """A deterministic value for key ``i`` at ``version``."""
+        body = b"v%d.%d|" % (i, version)
+        pad = self.spec.value_length - len(body)
+        return body + b"x" * max(0, pad)
+
+    def all_keys(self) -> list[bytes]:
+        return [self.key(i) for i in range(self.spec.n_keys)]
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def pick(self) -> int:
+        """Pick a key index according to the skew."""
+        if self._zipf_cdf is None:
+            return self._rng.randrange(self.spec.n_keys)
+        u = self._rng.random()
+        lo, hi = 0, len(self._zipf_cdf)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._zipf_cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return min(lo, self.spec.n_keys - 1)
+
+    def load_stream(self) -> Iterator[tuple[bytes, bytes]]:
+        """Initial load: every key once, in random order."""
+        order = list(range(self.spec.n_keys))
+        self._rng.shuffle(order)
+        for i in order:
+            yield self.key(i), self.value(i)
+
+    def update_stream(self, n_ops: int) -> Iterator[tuple[bytes, bytes]]:
+        """``n_ops`` value updates over existing keys."""
+        for version in range(1, n_ops + 1):
+            i = self.pick()
+            yield self.key(i), self.value(i, version)
+
+    def mixed_stream(self, n_ops: int, p_update: float = 0.8,
+                     p_delete: float = 0.1) -> Iterator[tuple[str, bytes, bytes]]:
+        """Stream of ('update'|'delete'|'insert', key, value) ops.
+
+        Assumes the full key set was loaded first; tracks deletions so
+        every emitted operation is applicable (updates and deletes only
+        target live keys, inserts only re-insert deleted keys).
+        """
+        deleted: list[int] = []
+        live = set(range(self.spec.n_keys))
+        for version in range(1, n_ops + 1):
+            roll = self._rng.random()
+            if deleted and roll >= p_update + p_delete:
+                i = deleted.pop()
+                live.add(i)
+                yield "insert", self.key(i), self.value(i, version)
+                continue
+            i = self.pick()
+            while i not in live:
+                i = (i + 1) % self.spec.n_keys
+            if roll < p_update or len(live) <= 1:
+                yield "update", self.key(i), self.value(i, version)
+            else:
+                live.discard(i)
+                deleted.append(i)
+                yield "delete", self.key(i), b""

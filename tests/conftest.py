@@ -1,0 +1,82 @@
+"""Shared fixtures.
+
+Unit tests run on the free NULL profile so simulated time never
+dominates; timing-sensitive experiments build their own clocks with
+realistic profiles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, EngineConfig
+from repro.core.backup import BackupPolicy
+from repro.sim.clock import SimClock
+from repro.sim.iomodel import NULL_PROFILE
+from repro.sim.stats import Stats
+from repro.storage.device import StorageDevice
+from repro.storage.faults import FaultInjector
+from repro.wal.log_manager import LogManager
+
+PAGE_SIZE = 4096
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def stats() -> Stats:
+    return Stats()
+
+
+@pytest.fixture
+def device(clock: SimClock, stats: Stats) -> StorageDevice:
+    return StorageDevice("test0", PAGE_SIZE, 256, clock, NULL_PROFILE, stats,
+                         FaultInjector(seed=1))
+
+
+@pytest.fixture
+def log(clock: SimClock, stats: Stats) -> LogManager:
+    return LogManager(clock, NULL_PROFILE, stats)
+
+
+def fast_config(**overrides) -> EngineConfig:  # noqa: ANN003
+    """Engine config with free I/O for unit/integration tests."""
+    base = dict(
+        page_size=PAGE_SIZE,
+        capacity_pages=512,
+        buffer_capacity=32,
+        device_profile=NULL_PROFILE,
+        log_profile=NULL_PROFILE,
+        backup_profile=NULL_PROFILE,
+        backup_policy=BackupPolicy(every_n_updates=64),
+    )
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database(fast_config())
+
+
+@pytest.fixture
+def loaded_db() -> Database:
+    """A database with one index holding 300 committed keys."""
+    database = Database(fast_config())
+    tree = database.create_index()
+    txn = database.begin()
+    for i in range(300):
+        tree.insert(txn, key_of(i), value_of(i, 0))
+    database.commit(txn)
+    return database
+
+
+def key_of(i: int) -> bytes:
+    return b"k%06d" % i
+
+
+def value_of(i: int, version: int) -> bytes:
+    return b"v%d.%d" % (i, version)

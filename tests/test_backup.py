@@ -1,0 +1,200 @@
+"""Unit tests: backup sources (Section 5.2.1) and the backup policy."""
+
+import pytest
+
+from repro.core.backup import (
+    BackupPolicy,
+    BackupStore,
+    fetch_backup_image,
+)
+from repro.errors import RecoveryError
+from repro.page.page import Page, PageType
+from repro.page.slotted import SlottedPage
+from repro.sim.clock import SimClock
+from repro.sim.iomodel import ARCHIVE_PROFILE, HDD_PROFILE, NULL_PROFILE
+from repro.sim.stats import Stats
+from repro.txn.manager import TransactionManager
+from repro.wal.log_manager import LogManager
+from repro.wal.log_reader import LogReader
+from repro.wal.ops import OpInitSlotted
+from repro.wal.records import (
+    BackupRef,
+    LogRecord,
+    LogRecordKind,
+    compress_image,
+)
+
+PAGE_SIZE = 1024
+
+
+def make_store(profile=NULL_PROFILE, clock=None):
+    clock = clock or SimClock()
+    return BackupStore(clock, profile, Stats(), PAGE_SIZE), clock
+
+
+def sealed_page(page_id: int, lsn: int = 0) -> Page:
+    page = Page.format(PAGE_SIZE, page_id, PageType.HEAP)
+    SlottedPage(page).initialize()
+    if lsn:
+        page.page_lsn = lsn
+    page.seal()
+    return page
+
+
+class TestBackupPolicy:
+    def test_update_count_trigger(self):
+        policy = BackupPolicy(every_n_updates=100)
+        assert not policy.due(update_count=99, age_seconds=1e9)
+        assert policy.due(update_count=100, age_seconds=0)
+
+    def test_age_trigger(self):
+        policy = BackupPolicy(max_age_seconds=3600)
+        assert not policy.due(update_count=10**6, age_seconds=3599)
+        assert policy.due(update_count=0, age_seconds=3600)
+
+    def test_either_trigger(self):
+        policy = BackupPolicy(every_n_updates=10, max_age_seconds=60)
+        assert policy.due(update_count=10, age_seconds=0)
+        assert policy.due(update_count=0, age_seconds=60)
+
+    def test_disabled_never_due(self):
+        policy = BackupPolicy.disabled()
+        assert not policy.due(update_count=10**9, age_seconds=1e12)
+
+
+class TestPageCopies:
+    def test_store_and_fetch(self):
+        store, _clock = make_store()
+        page = sealed_page(7, lsn=42)
+        location = store.store_page_copy(bytes(page.data), 42)
+        image, lsn = store.fetch_page_copy(location)
+        assert image == bytes(page.data)
+        assert lsn == 42
+
+    def test_new_copy_never_overwrites_old(self):
+        """Both copies exist until the old one is explicitly freed."""
+        store, _clock = make_store()
+        first = store.store_page_copy(bytes(sealed_page(7, 10).data), 10)
+        second = store.store_page_copy(bytes(sealed_page(7, 20).data), 20)
+        assert first != second
+        assert store.live_page_copies == 2
+        store.free_page_copy(first)
+        assert store.live_page_copies == 1
+        store.fetch_page_copy(second)
+        with pytest.raises(RecoveryError):
+            store.fetch_page_copy(first)
+
+    def test_free_if_page_copy_ignores_other_kinds(self):
+        store, _clock = make_store()
+        location = store.store_page_copy(bytes(sealed_page(7).data), 0)
+        store.free_if_page_copy(BackupRef.log_image(123))
+        store.free_if_page_copy(None)
+        assert store.live_page_copies == 1
+        store.free_if_page_copy(BackupRef.page_copy(location))
+        assert store.live_page_copies == 0
+
+
+class TestFullBackups:
+    def test_store_and_fetch_single_page(self):
+        store, _clock = make_store()
+        pages = {i: bytes(sealed_page(i, lsn=i * 10 or 1).data) for i in range(5)}
+        lsns = {i: i * 10 or 1 for i in range(5)}
+        backup_id = store.store_full_backup(pages, lsns)
+        image, lsn = store.fetch_from_full_backup(backup_id, 3)
+        assert image == pages[3]
+        assert lsn == 30
+
+    def test_missing_page_raises(self):
+        store, _clock = make_store()
+        backup_id = store.store_full_backup({}, {})
+        with pytest.raises(RecoveryError):
+            store.fetch_from_full_backup(backup_id, 9)
+        with pytest.raises(RecoveryError):
+            store.restore_full_backup(backup_id + 1)
+
+    def test_restore_returns_all(self):
+        store, _clock = make_store()
+        pages = {i: bytes(sealed_page(i).data) for i in range(4)}
+        backup_id = store.store_full_backup(pages, {i: 0 for i in range(4)})
+        assert store.restore_full_backup(backup_id) == pages
+
+    def test_archive_media_penalizes_single_page_fetch(self):
+        """Section 5.2.1: a sequentially compressed archive backup 'is
+        less than ideal' for single-page recovery."""
+        disk_store, disk_clock = make_store(HDD_PROFILE)
+        tape_store, tape_clock = make_store(ARCHIVE_PROFILE)
+        pages = {0: bytes(sealed_page(0).data)}
+        for store in (disk_store, tape_store):
+            store.store_full_backup(pages, {0: 0})
+        t0 = disk_clock.now
+        disk_store.fetch_from_full_backup(1, 0)
+        disk_cost = disk_clock.now - t0
+        t0 = tape_clock.now
+        tape_store.fetch_from_full_backup(1, 0)
+        tape_cost = tape_clock.now - t0
+        assert tape_cost > 100 * disk_cost
+
+
+class TestFetchBackupImage:
+    def make_log_rig(self):
+        clock = SimClock()
+        stats = Stats()
+        log = LogManager(clock, NULL_PROFILE, stats)
+        reader = LogReader(log, clock, NULL_PROFILE, stats)
+        return log, reader
+
+    def test_fetch_page_copy_ref(self):
+        store, _clock = make_store()
+        _log, reader = self.make_log_rig()
+        page = sealed_page(7, lsn=33)
+        location = store.store_page_copy(bytes(page.data), 33)
+        fetched, lsn = fetch_backup_image(
+            BackupRef.page_copy(location), 7, PAGE_SIZE, store, reader)
+        assert fetched.page_id == 7
+        assert lsn == 33
+
+    def test_fetch_log_image_ref(self):
+        store, _clock = make_store()
+        log, reader = self.make_log_rig()
+        page = sealed_page(7, lsn=55)
+        lsn = log.append(LogRecord(LogRecordKind.FULL_PAGE_IMAGE, page_id=7,
+                                   page_lsn=55,
+                                   image=compress_image(page.data)))
+        fetched, as_of = fetch_backup_image(
+            BackupRef.log_image(lsn), 7, PAGE_SIZE, store, reader)
+        assert as_of == 55
+        assert fetched.page_lsn == 55
+
+    def test_fetch_format_record_ref(self):
+        """A formatting record substitutes for a backup (Section 5.2.1)."""
+        store, _clock = make_store()
+        log, reader = self.make_log_rig()
+        stats = Stats()
+        tm = TransactionManager(log, stats)
+        txn = tm.begin(system=True)
+        page = Page.format(PAGE_SIZE, 9)
+        format_lsn = tm.log_format(txn, page, 0, OpInitSlotted(PageType.HEAP))
+        tm.commit(txn)
+        fetched, as_of = fetch_backup_image(
+            BackupRef.format_record(format_lsn), 9, PAGE_SIZE, store, reader)
+        assert as_of == format_lsn
+        assert fetched.page_type == PageType.HEAP
+        assert fetched.page_id == 9
+        SlottedPage(fetched).check_plausible()
+
+    def test_wrong_record_kind_rejected(self):
+        store, _clock = make_store()
+        log, reader = self.make_log_rig()
+        lsn = log.append(LogRecord(LogRecordKind.COMMIT, txn_id=1))
+        with pytest.raises(RecoveryError):
+            fetch_backup_image(BackupRef.log_image(lsn), 7, PAGE_SIZE,
+                               store, reader)
+        with pytest.raises(RecoveryError):
+            fetch_backup_image(BackupRef.format_record(lsn), 7, PAGE_SIZE,
+                               store, reader)
+
+    def test_no_backup_rejected(self):
+        store, _clock = make_store()
+        _log, reader = self.make_log_rig()
+        with pytest.raises(RecoveryError):
+            fetch_backup_image(BackupRef.none(), 7, PAGE_SIZE, store, reader)

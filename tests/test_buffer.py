@@ -1,0 +1,219 @@
+"""Unit tests: buffer pool, eviction, and the Figure-11 write-back order."""
+
+import pytest
+
+from repro.buffer.buffer_pool import BufferPool
+from repro.buffer.eviction import ClockEviction
+from repro.errors import BufferPoolError
+from repro.page.page import Page, PageType
+from repro.sim.clock import SimClock
+from repro.sim.iomodel import NULL_PROFILE
+from repro.sim.stats import Stats
+from repro.storage.device import StorageDevice
+from repro.txn.manager import TransactionManager
+from repro.wal.log_manager import LogManager
+from repro.wal.lsn import NULL_LSN
+from repro.wal.ops import OpInsert
+
+PAGE_SIZE = 512
+
+
+@pytest.fixture
+def rig():
+    clock = SimClock()
+    stats = Stats()
+    device = StorageDevice("d", PAGE_SIZE, 64, clock, NULL_PROFILE, stats)
+    log = LogManager(clock, NULL_PROFILE, stats)
+    tm = TransactionManager(log, stats)
+    events: list[tuple[str, int]] = []
+    pool = BufferPool(
+        device, log, stats, capacity=4,
+        on_page_cleaned=lambda page: events.append(("cleaned", page.page_id)),
+        on_before_write=lambda page: events.append(("pre-write", page.page_id)))
+    # Pre-populate the device with formatted pages.
+    for page_id in range(8):
+        page = Page.format(PAGE_SIZE, page_id, PageType.HEAP)
+        page.seal()
+        device.write(page_id, page.data)
+    return pool, device, log, tm, stats, events
+
+
+class TestFixUnfix:
+    def test_fix_reads_once_then_hits(self, rig):
+        pool, _device, _log, _tm, stats, _events = rig
+        pool.fix(1)
+        pool.unfix(1)
+        pool.fix(1)
+        pool.unfix(1)
+        assert stats.get("buffer_misses") == 1
+        assert stats.get("buffer_hits") == 1
+
+    def test_unfix_without_fix_rejected(self, rig):
+        pool, *_ = rig
+        with pytest.raises(BufferPoolError):
+            pool.unfix(1)
+
+    def test_pin_counts_nest(self, rig):
+        pool, *_ = rig
+        pool.fix(1)
+        pool.fix(1)
+        assert pool.pin_count(1) == 2
+        pool.unfix(1)
+        assert pool.pin_count(1) == 1
+        pool.unfix(1)
+
+    def test_fix_new_rejects_duplicate(self, rig):
+        pool, *_ = rig
+        pool.fix(1)
+        with pytest.raises(BufferPoolError):
+            pool.fix_new(Page.format(PAGE_SIZE, 1, PageType.HEAP))
+
+
+class TestDirtyTracking:
+    def test_rec_lsn_is_first_dirtying_lsn(self, rig):
+        pool, _device, _log, tm, _stats, _events = rig
+        page = pool.fix(2)
+        txn = tm.begin()
+        first = tm.log_update(txn, page, 1, OpInsert(0, b"a", b"1"))
+        pool.mark_dirty(2, first)
+        second = tm.log_update(txn, page, 1, OpInsert(1, b"b", b"2"))
+        pool.mark_dirty(2, second)
+        assert pool.dirty_page_table() == {2: first}
+        pool.unfix(2)
+
+    def test_flush_clears_dirty(self, rig):
+        pool, _device, _log, tm, _stats, _events = rig
+        page = pool.fix(2)
+        txn = tm.begin()
+        lsn = tm.log_update(txn, page, 1, OpInsert(0, b"a", b"1"))
+        pool.mark_dirty(2, lsn)
+        assert pool.flush_page(2)
+        assert not pool.is_dirty(2)
+        assert not pool.flush_page(2)  # already clean
+        pool.unfix(2)
+
+
+class TestWriteBackProtocol:
+    def test_wal_rule_forces_log_before_write(self, rig):
+        """No page reaches the device before its log records do."""
+        pool, _device, log, tm, _stats, _events = rig
+        page = pool.fix(2)
+        txn = tm.begin()
+        lsn = tm.log_update(txn, page, 1, OpInsert(0, b"a", b"1"))
+        pool.mark_dirty(2, lsn)
+        assert log.durable_lsn <= lsn
+        pool.flush_page(2)
+        assert log.durable_lsn > lsn
+        pool.unfix(2)
+
+    def test_figure_11_hook_order(self, rig):
+        """pre-write hook, then device write, then cleaned hook."""
+        pool, _device, _log, tm, _stats, events = rig
+        page = pool.fix(2)
+        txn = tm.begin()
+        lsn = tm.log_update(txn, page, 1, OpInsert(0, b"a", b"1"))
+        pool.mark_dirty(2, lsn)
+        pool.flush_page(2)
+        assert events == [("pre-write", 2), ("cleaned", 2)]
+        pool.unfix(2)
+
+    def test_page_sealed_before_write(self, rig):
+        pool, device, _log, tm, _stats, _events = rig
+        page = pool.fix(2)
+        txn = tm.begin()
+        lsn = tm.log_update(txn, page, 1, OpInsert(0, b"a", b"1"))
+        pool.mark_dirty(2, lsn)
+        pool.flush_page(2)
+        pool.unfix(2)
+        stored = Page(PAGE_SIZE, device.read(2))
+        assert stored.checksum_ok()
+
+
+class TestEviction:
+    def test_capacity_enforced_by_eviction(self, rig):
+        pool, *_ = rig
+        for page_id in range(6):
+            pool.fix(page_id)
+            pool.unfix(page_id)
+        assert len(pool) <= 4
+
+    def test_pinned_pages_never_evicted(self, rig):
+        pool, *_ = rig
+        pool.fix(0)
+        for page_id in range(1, 6):
+            pool.fix(page_id)
+            pool.unfix(page_id)
+        assert pool.resident(0)
+        pool.unfix(0)
+
+    def test_all_pinned_raises(self, rig):
+        pool, *_ = rig
+        for page_id in range(4):
+            pool.fix(page_id)
+        with pytest.raises(BufferPoolError):
+            pool.fix(5)
+
+    def test_eviction_flushes_dirty_victim(self, rig):
+        pool, device, _log, tm, _stats, events = rig
+        page = pool.fix(2)
+        txn = tm.begin()
+        lsn = tm.log_update(txn, page, 1, OpInsert(0, b"zz", b"9"))
+        pool.mark_dirty(2, lsn)
+        pool.unfix(2)
+        for page_id in (3, 4, 5, 6, 7):
+            pool.fix(page_id)
+            pool.unfix(page_id)
+        assert not pool.resident(2)
+        assert ("cleaned", 2) in events
+        stored = Page(PAGE_SIZE, device.read(2))
+        assert stored.page_lsn == lsn
+
+    def test_drop_frame_discards_without_write(self, rig):
+        pool, device, _log, tm, _stats, _events = rig
+        page = pool.fix(2)
+        txn = tm.begin()
+        lsn = tm.log_update(txn, page, 1, OpInsert(0, b"a", b"1"))
+        pool.mark_dirty(2, lsn)
+        pool.unfix(2)
+        pool.drop_frame(2)
+        stored = Page(PAGE_SIZE, device.read(2))
+        assert stored.page_lsn == NULL_LSN  # never written
+
+    def test_drop_all(self, rig):
+        pool, *_ = rig
+        pool.fix(1)
+        pool.unfix(1)
+        pool.drop_all()
+        assert len(pool) == 0
+
+
+class TestClockEviction:
+    def test_second_chance(self):
+        policy = ClockEviction()
+        for page_id in (1, 2, 3):
+            policy.admitted(page_id)
+        # All have the reference bit; first sweep clears, second picks 1.
+        victim = policy.choose_victim(lambda _pid: True)
+        assert victim == 1
+
+    def test_touched_pages_survive_longer(self):
+        policy = ClockEviction()
+        for page_id in (1, 2, 3):
+            policy.admitted(page_id)
+        policy.choose_victim(lambda _pid: True)  # clears bits, picks 1
+        policy.touched(2)
+        victim = policy.choose_victim(lambda _pid: True)
+        assert victim == 3  # 2 got a second chance
+
+    def test_removed_keeps_ring_consistent(self):
+        policy = ClockEviction()
+        for page_id in (1, 2, 3, 4):
+            policy.admitted(page_id)
+        policy.removed(2)
+        assert set(policy.pages()) == {1, 3, 4}
+        assert policy.choose_victim(lambda _pid: True) in {1, 3, 4}
+
+    def test_no_evictable_returns_none(self):
+        policy = ClockEviction()
+        policy.admitted(1)
+        assert policy.choose_victim(lambda _pid: False) is None

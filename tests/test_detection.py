@@ -1,0 +1,196 @@
+"""Integration tests: the detection stack (Section 4, Figure 8)."""
+
+from repro.btree.node import BTreeNode
+from repro.detect.checks import run_in_page_checks
+from repro.engine.database import Database
+from repro.errors import PageFailureKind
+from repro.page.page import Page, PageType
+from tests.conftest import fast_config, key_of, value_of
+
+
+def loaded(**overrides):
+    db = Database(fast_config(**overrides))
+    tree = db.create_index()
+    txn = db.begin()
+    for i in range(300):
+        tree.insert(txn, key_of(i), value_of(i, 0))
+    db.commit(txn)
+    db.flush_everything()
+    db.evict_everything()
+    return db, tree
+
+
+class TestInPageChecks:
+    def test_clean_page_passes(self):
+        page = Page.format(1024, 3, PageType.HEAP)
+        from repro.page.slotted import SlottedPage
+
+        SlottedPage(page).initialize()
+        page.seal()
+        outcome = run_in_page_checks(page, expected_page_id=3)
+        assert outcome.ok
+
+    def test_each_layer_reports_its_kind(self):
+        from repro.page.slotted import SlottedPage
+
+        page = Page.format(1024, 3, PageType.HEAP)
+        SlottedPage(page).initialize()
+        page.seal()
+
+        rotten = Page(1024, bytes(page.data))
+        rotten.data[500] ^= 0xFF
+        assert run_in_page_checks(rotten, 3).kind == PageFailureKind.CHECKSUM_MISMATCH
+
+        misdirected = Page(1024, bytes(page.data))
+        assert run_in_page_checks(misdirected, 4).kind == PageFailureKind.WRONG_PAGE_ID
+
+        stale = Page(1024, bytes(page.data))
+        assert run_in_page_checks(stale, 3, expected_lsn=10**6).kind == (
+            PageFailureKind.STALE_LSN)
+
+
+class TestReadPathDispatch:
+    def test_clean_reads_bypass_recovery(self):
+        db, tree = loaded()
+        assert tree.lookup(key_of(5)) == value_of(5, 0)
+        assert db.stats.get("single_page_recoveries") == 0
+        assert db.stats.get("pages_fetched_clean") > 0
+
+    def test_pri_repaired_when_page_newer_than_index(self):
+        """A page *newer* than the PRI expects is fine — the index is
+        repaired on the read path (the lost-PRI-update case applied to
+        normal processing)."""
+        db, tree = loaded()
+        page, _node = tree._descend(key_of(0), for_write=False)
+        victim = page.page_id
+        db.unfix(victim)
+        db.evict_everything()
+        # Make the PRI believe an older LSN was the last write.
+        actual = db.pri.recorded_lsn(victim)
+        partition = db.pri.partitions[db.pri.partition_of_data_page(victim)]
+        partition._page_lsns[victim] = max(1, actual - 1000)
+        assert tree.lookup(key_of(0)) == value_of(0, 0)
+        assert db.stats.get("pri_repaired_on_read") == 1
+        assert db.pri.recorded_lsn(victim) == actual
+        assert db.stats.get("single_page_recoveries") == 0
+
+
+class TestBTreeCrossPageDetection:
+    """Section 4.2: fence-key verification on every root-to-leaf pass
+    catches corruption that in-page checks cannot."""
+
+    def test_traversal_detects_stale_but_valid_child(self):
+        """A lost write leaves a checksum-valid but outdated node; the
+        PRI LSN cross-check catches it at fetch time and the traversal
+        proceeds with the repaired page."""
+        db, tree = loaded()
+        # Grow enough that there is a branch level.
+        txn = db.begin()
+        for i in range(300, 900):
+            tree.insert(txn, key_of(i), value_of(i, 0))
+        db.commit(txn)
+        db.flush_everything()
+        db.evict_everything()
+        page, _n = tree._descend(key_of(500), for_write=False)
+        victim = page.page_id
+        db.unfix(victim)
+        db.evict_everything()
+        db.device.inject_lost_write(victim)
+        txn = db.begin()
+        tree.update(txn, key_of(500), b"newest")
+        db.commit(txn)
+        db.flush_everything()
+        db.evict_everything()
+        assert tree.lookup(key_of(500)) == b"newest"
+        assert db.stats.get("page_failures_detected") >= 1
+
+    def test_invariant_failure_handler_invoked_on_fence_damage(self):
+        """Corrupt a child's fence keys in a way that keeps the page
+        internally plausible; only the cross-page check can see it."""
+        db, tree = loaded()
+        txn = db.begin()
+        for i in range(300, 900):
+            tree.insert(txn, key_of(i), value_of(i, 0))
+        db.commit(txn)
+        db.flush_everything()
+        root_pid = db.get_root(tree.index_id)
+        root_page = db.fix(root_pid)
+        root = BTreeNode(root_page)
+        assert not root.is_leaf
+        victim = root.child_pid(0)
+        db.unfix(root_pid)
+        db.evict_everything()
+        # Forge the stored page: rewrite it with a wrong low fence but
+        # valid checksum, bypassing the engine (simulates firmware bugs
+        # / software scribbles).
+        raw = db.device.read(victim)
+        forged = Page(db.config.page_size, raw)
+        node = BTreeNode(forged)
+        from repro.page.slotted import SlottedPage
+
+        slotted = SlottedPage(forged)
+        meta = slotted.read_record(0)
+        slotted.remove(0)
+        from repro.page.slotted import Record
+
+        slotted.insert(0, Record(b"zzzz-wrong-fence", meta.value, meta.ghost))
+        forged.seal()
+        db.device.write(victim, forged.data)
+        # The PRI cross-check cannot catch this (the LSN is intact),
+        # but the fence comparison on the very next descent does, and
+        # single-page recovery repairs the node in place.
+        # Reset the recorded LSN so the stale check passes.
+        assert tree.lookup(key_of(0)) == value_of(0, 0)
+        assert db.stats.get("btree_invariant_failures") >= 1
+        assert db.stats.get("single_page_recoveries") >= 1
+
+
+class TestScrubbing:
+    def test_scrub_clean_database_finds_nothing(self):
+        db, _tree = loaded()
+        report = db.scrub()
+        assert report.failures_found == 0
+        assert report.pages_scanned > 0
+
+    def test_scrub_finds_and_repairs_cold_corruption(self):
+        """Latent sector errors are mostly found by scrubbing [2]."""
+        db, tree = loaded()
+        victims = []
+        for i in (0, 299):
+            page, _n = tree._descend(key_of(i), for_write=False)
+            victims.append(page.page_id)
+            db.unfix(page.page_id)
+        db.evict_everything()
+        db.device.inject_bit_rot(victims[0])
+        db.device.inject_read_error(victims[1])
+        report = db.scrub()
+        assert report.failures_found == 2
+        assert report.failures_repaired == 2
+        assert set(report.failures_by_kind) == {"checksum-mismatch",
+                                                "device-read-error"}
+        # And the data is intact afterwards, without any recovery on
+        # the foreground read path.
+        before = db.stats.get("single_page_recoveries")
+        assert tree.lookup(key_of(0)) == value_of(0, 0)
+        assert tree.lookup(key_of(299)) == value_of(299, 0)
+        assert db.stats.get("single_page_recoveries") == before
+
+    def test_scrub_report_only_mode(self):
+        db, tree = loaded()
+        page, _n = tree._descend(key_of(0), for_write=False)
+        victim = page.page_id
+        db.unfix(victim)
+        db.evict_everything()
+        db.device.inject_bit_rot(victim)
+        report = db.scrub(repair=False)
+        assert report.failures_found == 1
+        assert report.failures_repaired == 0
+        # Damage still present; the read path repairs it on demand.
+        assert tree.lookup(key_of(0)) == value_of(0, 0)
+        assert db.stats.get("single_page_recoveries") == 1
+
+    def test_scrub_skips_buffered_pages(self):
+        db, tree = loaded()
+        tree.lookup(key_of(0))  # pulls pages into the pool
+        report = db.scrub()
+        assert report.pages_skipped > 0

@@ -1,0 +1,178 @@
+"""Integration tests: heap files — the second storage structure.
+
+Section 5.2: "the recovery techniques discussed below apply to any
+storage structure."  These tests put heap pages through the same
+failure/recovery machinery as B-tree nodes.
+"""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import KeyNotFound
+from repro.heap.heapfile import RID
+from tests.conftest import fast_config
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database(fast_config())
+
+
+@pytest.fixture
+def heap(db):
+    return db.create_heap()
+
+
+class TestBasicOperations:
+    def test_insert_fetch(self, db, heap):
+        txn = db.begin()
+        rid = heap.insert(txn, b"hello heap")
+        db.commit(txn)
+        assert heap.fetch(rid) == b"hello heap"
+
+    def test_rids_stable_and_ordered(self, db, heap):
+        txn = db.begin()
+        rids = [heap.insert(txn, b"r%04d" % i) for i in range(50)]
+        db.commit(txn)
+        assert len(set(rids)) == 50
+        for i, rid in enumerate(rids):
+            assert heap.fetch(rid) == b"r%04d" % i
+
+    def test_update_in_place(self, db, heap):
+        txn = db.begin()
+        rid = heap.insert(txn, b"before")
+        heap.update(txn, rid, b"after!")
+        db.commit(txn)
+        assert heap.fetch(rid) == b"after!"
+
+    def test_delete_hides_record(self, db, heap):
+        txn = db.begin()
+        rid = heap.insert(txn, b"doomed")
+        heap.delete(txn, rid)
+        db.commit(txn)
+        with pytest.raises(KeyNotFound):
+            heap.fetch(rid)
+
+    def test_fetch_bogus_rid(self, db, heap):
+        txn = db.begin()
+        heap.insert(txn, b"only")
+        db.commit(txn)
+        with pytest.raises(KeyNotFound):
+            heap.fetch(RID(db.config.data_start, 99))
+
+    def test_scan_in_rid_order(self, db, heap):
+        txn = db.begin()
+        for i in range(30):
+            heap.insert(txn, b"p%03d" % i)
+        db.commit(txn)
+        scanned = heap.scan()
+        assert [value for _rid, value in scanned] == [b"p%03d" % i
+                                                      for i in range(30)]
+        assert [rid for rid, _v in scanned] == sorted(r for r, _ in scanned)
+
+    def test_grows_across_pages(self, db, heap):
+        txn = db.begin()
+        big = b"x" * 400
+        for _ in range(40):
+            heap.insert(txn, big)
+        db.commit(txn)
+        assert len(db.get_heap_pages(heap.heap_id)) > 1
+        assert heap.count() == 40
+
+    def test_vacuum_reclaims_ghost_space(self, db, heap):
+        txn = db.begin()
+        rids = [heap.insert(txn, b"y" * 200) for _ in range(10)]
+        for rid in rids[:5]:
+            heap.delete(txn, rid)
+        db.commit(txn)
+        reclaimed = heap.vacuum()
+        assert reclaimed == 5
+        assert heap.count() == 5
+
+    def test_multiple_heaps_independent(self, db):
+        a = db.create_heap()
+        b = db.create_heap()
+        txn = db.begin()
+        ra = a.insert(txn, b"in-a")
+        rb = b.insert(txn, b"in-b")
+        db.commit(txn)
+        assert a.fetch(ra) == b"in-a"
+        assert b.fetch(rb) == b"in-b"
+        assert a.count() == 1 and b.count() == 1
+
+
+class TestTransactions:
+    def test_abort_undoes_heap_ops(self, db, heap):
+        txn = db.begin()
+        keep = heap.insert(txn, b"keep")
+        db.commit(txn)
+        txn2 = db.begin()
+        gone = heap.insert(txn2, b"gone")
+        heap.update(txn2, keep, b"mutated")
+        heap.delete(txn2, keep)
+        db.abort(txn2)
+        assert heap.fetch(keep) == b"keep"
+        with pytest.raises(KeyNotFound):
+            heap.fetch(gone)
+
+    def test_crash_recovery_of_heap(self, db, heap):
+        txn = db.begin()
+        rids = [heap.insert(txn, b"durable-%d" % i) for i in range(20)]
+        db.commit(txn)
+        loser = db.begin()
+        heap.insert(loser, b"vanishes")
+        db.crash()
+        db.restart()
+        heap = db.heap(heap.heap_id)
+        assert heap.count() == 20
+        for i, rid in enumerate(rids):
+            assert heap.fetch(rid) == b"durable-%d" % i
+
+
+class TestSinglePageRecoveryOnHeap:
+    def test_heap_page_recovers_like_any_other(self, db, heap):
+        """The fourth failure class is storage-structure agnostic."""
+        txn = db.begin()
+        rids = [heap.insert(txn, b"record-%03d" % i) for i in range(40)]
+        db.commit(txn)
+        db.flush_everything()
+        db.evict_everything()
+        victim = rids[0].page_id
+        db.device.inject_bit_rot(victim, nbits=6)
+        assert heap.fetch(rids[0]) == b"record-000"
+        assert db.stats.get("single_page_recoveries") == 1
+
+    def test_lost_write_on_heap_page(self, db, heap):
+        txn = db.begin()
+        rid = heap.insert(txn, b"v1")
+        db.commit(txn)
+        db.flush_everything()
+        db.evict_everything()
+        db.device.inject_lost_write(rid.page_id)
+        txn = db.begin()
+        heap.update(txn, rid, b"v2")
+        db.commit(txn)
+        db.flush_everything()
+        db.evict_everything()
+        assert heap.fetch(rid) == b"v2"
+        assert db.stats.get("spf[stale-lsn]") == 1
+
+    def test_rid_as_secondary_index_value(self, db, heap):
+        """A B-tree mapping keys to heap RIDs — the classic layout —
+        survives a failure of either structure's page."""
+        tree = db.create_index()
+        txn = db.begin()
+        rid_by_key = {}
+        for i in range(60):
+            rid = heap.insert(txn, b"payload-%03d" % i)
+            tree.insert(txn, b"key%03d" % i, rid.encode())
+            rid_by_key[b"key%03d" % i] = rid
+        db.commit(txn)
+        db.flush_everything()
+        db.evict_everything()
+        # Break one heap page and one index page.
+        heap_victim = rid_by_key[b"key000"].page_id
+        db.device.inject_read_error(heap_victim)
+        rid = RID.decode(tree.lookup(b"key000"))
+        assert heap.fetch(rid) == b"payload-000"
+        assert db.stats.get("single_page_recoveries") >= 1

@@ -1,0 +1,111 @@
+"""Unit tests: simulated clock, I/O profiles, counters."""
+
+import pytest
+
+from repro.sim.clock import SimClock, StopWatch
+from repro.sim.iomodel import (
+    ARCHIVE_PROFILE,
+    FLASH_PROFILE,
+    HDD_PROFILE,
+    IOProfile,
+)
+from repro.sim.stats import Stats
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.25)
+        assert clock.now == pytest.approx(1.75)
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_elapsed_since(self):
+        clock = SimClock()
+        mark = clock.now
+        clock.advance(2.0)
+        assert clock.elapsed_since(mark) == pytest.approx(2.0)
+
+    def test_stopwatch(self):
+        clock = SimClock()
+        with StopWatch(clock) as watch:
+            clock.advance(3.0)
+        assert watch.elapsed == pytest.approx(3.0)
+
+
+class TestIOProfile:
+    def test_read_cost_includes_latency_and_transfer(self):
+        profile = IOProfile("p", 0.01, 0.02, 1000.0)
+        assert profile.read_cost(500) == pytest.approx(0.01 + 0.5)
+        assert profile.write_cost(500) == pytest.approx(0.02 + 0.5)
+
+    def test_sequential_discount(self):
+        profile = IOProfile("p", 0.01, 0.01, 1e9, sequential_factor=0.0)
+        assert profile.read_cost(0, sequential=True) == pytest.approx(0.0)
+        assert profile.read_cost(0, sequential=False) == pytest.approx(0.01)
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            IOProfile("p", -1, 0, 100)
+        with pytest.raises(ValueError):
+            IOProfile("p", 0, 0, 0)
+        with pytest.raises(ValueError):
+            IOProfile("p", 0, 0, 100, sequential_factor=2.0)
+
+    def test_paper_restore_arithmetic(self):
+        """Section 6: 100 GB at 100 MB/s is about 1000 s."""
+        seconds = HDD_PROFILE.read_cost(100 * 1024**3, sequential=True)
+        assert 990 <= seconds <= 1030
+
+    def test_profile_ordering(self):
+        """Flash random reads are much cheaper than disk; archive
+        first-byte latency dwarfs both."""
+        nbytes = 4096
+        assert FLASH_PROFILE.read_cost(nbytes) < HDD_PROFILE.read_cost(nbytes)
+        assert ARCHIVE_PROFILE.read_cost(nbytes) > 100 * HDD_PROFILE.read_cost(nbytes)
+
+
+class TestStats:
+    def test_bump_and_get(self):
+        stats = Stats()
+        stats.bump("x")
+        stats.bump("x", 4)
+        assert stats.get("x") == 5
+        assert stats.get("never") == 0
+
+    def test_negative_bump_rejected(self):
+        with pytest.raises(ValueError):
+            Stats().bump("x", -1)
+
+    def test_snapshot_delta(self):
+        stats = Stats()
+        stats.bump("a", 2)
+        before = stats.snapshot()
+        stats.bump("a", 3)
+        stats.bump("b")
+        assert stats.delta(before) == {"a": 3, "b": 1}
+
+    def test_reset(self):
+        stats = Stats()
+        stats.bump("a")
+        stats.reset()
+        assert stats.get("a") == 0
+
+    def test_iteration_sorted(self):
+        stats = Stats()
+        stats.bump("zeta")
+        stats.bump("alpha")
+        assert [name for name, _ in stats] == ["alpha", "zeta"]

@@ -1,0 +1,210 @@
+"""Torture tests: randomized crash points and fault campaigns.
+
+Property-based end-to-end checks of the reproduction's core promises:
+
+* after a crash at *any* point, restart recovers exactly the committed
+  state (committed-survives / uncommitted-vanishes), and the B-tree's
+  structural invariants hold;
+* under arbitrary mixes of injected page faults, an SPF engine keeps
+  answering correctly and never aborts a transaction.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.btree.verify import verify_tree
+from repro.engine.database import Database
+from tests.conftest import fast_config, key_of, value_of
+
+
+def fresh_db(**overrides) -> Database:
+    return Database(fast_config(capacity_pages=2048, buffer_capacity=48,
+                                **overrides))
+
+
+class TestCrashRecoveryFuzz:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(data=st.data())
+    def test_committed_state_survives_any_crash_point(self, data):
+        """Random committed/uncommitted batches, random checkpoint and
+        flush placement, then crash + restart: the survivors are
+        exactly the committed batches."""
+        db = fresh_db()
+        tree = db.create_index()
+        model: dict[bytes, bytes] = {}
+        n_batches = data.draw(st.integers(1, 6), label="batches")
+        for batch in range(n_batches):
+            ops = data.draw(st.lists(st.tuples(
+                st.integers(0, 200), st.binary(min_size=1, max_size=12)),
+                min_size=1, max_size=25), label=f"ops{batch}")
+            last = batch == n_batches - 1
+            fate = data.draw(
+                st.sampled_from(["commit", "abort", "in-flight"] if last
+                                else ["commit", "abort"]),
+                label=f"fate{batch}")
+            txn = db.begin()
+            staged: dict[bytes, bytes] = {}
+            for i, payload in ops:
+                key = key_of(i)
+                if key in model or key in staged:
+                    tree.update(txn, key, payload)
+                else:
+                    tree.insert(txn, key, payload)
+                staged[key] = payload
+            if fate == "commit":
+                db.commit(txn)
+                model.update(staged)
+            elif fate == "abort":
+                db.abort(txn)
+            # "in-flight": the crash below rolls it back.
+            if data.draw(st.booleans(), label=f"flush{batch}"):
+                db.flush_everything()
+            if data.draw(st.booleans(), label=f"ckpt{batch}"):
+                db.checkpoint()
+        db.crash()
+        db.restart()
+        tree = db.tree(1)
+        assert dict(tree.range_scan()) == model
+        assert verify_tree(tree).ok
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10_000))
+    def test_double_crash_during_recovery_window(self, seed):
+        """Crash, restart, immediately crash again, restart again —
+        the state must be identical to a single clean restart."""
+        rng = random.Random(seed)
+        db = fresh_db()
+        tree = db.create_index()
+        committed = {}
+        for batch in range(3):
+            txn = db.begin()
+            for _ in range(rng.randrange(1, 15)):
+                i = rng.randrange(100)
+                value = b"s%d-%d" % (seed, rng.randrange(1000))
+                if key_of(i) in committed:
+                    tree.update(txn, key_of(i), value)
+                else:
+                    tree.insert(txn, key_of(i), value)
+                committed[key_of(i)] = value
+            db.commit(txn)
+            if rng.random() < 0.5:
+                db.flush_everything()
+        loser = db.begin()
+        tree.update(loser, sorted(committed)[0], b"DOOMED")
+        db.crash()
+        db.restart()
+        db.crash()
+        db.restart()
+        tree = db.tree(1)
+        assert dict(tree.range_scan()) == committed
+        assert verify_tree(tree).ok
+
+
+class TestFaultCampaign:
+    @pytest.mark.parametrize("seed", [1, 7, 23, 99])
+    def test_mixed_fault_storm(self, seed):
+        """A storm of random faults over random pages; the engine must
+        answer every probe correctly with zero aborted transactions."""
+        rng = random.Random(seed)
+        db = fresh_db()
+        tree = db.create_index()
+        txn = db.begin()
+        for i in range(400):
+            tree.insert(txn, key_of(i), value_of(i, 0))
+        db.commit(txn)
+        db.flush_everything()
+        db.evict_everything()
+        data_pages = list(range(db.config.data_start, db.allocated_pages()))
+
+        for round_no in range(12):
+            victim = rng.choice(data_pages)
+            kind = rng.choice(["read-error", "bit-rot", "wear"])
+            if kind == "read-error":
+                db.device.inject_read_error(victim)
+            elif kind == "bit-rot":
+                db.device.inject_bit_rot(victim, nbits=rng.randrange(1, 9))
+            else:
+                db.device.wear_out(victim)
+            db.evict_everything()
+            # Probe a spread of keys plus an update wave.
+            for i in rng.sample(range(400), 10):
+                assert tree.lookup(key_of(i)) == value_of(i, round_no)
+            txn = db.begin()
+            for i in range(400):
+                tree.update(txn, key_of(i), value_of(i, round_no + 1))
+            db.commit(txn)
+            db.flush_everything()
+            db.evict_everything()
+
+        assert db.stats.get("txns_aborted") == 0
+        assert db.stats.get("escalations_to_media") == 0
+        assert db.stats.get("single_page_recoveries") >= 6
+        assert verify_tree(tree).ok
+
+    def test_background_error_rates(self):
+        """Spontaneous device-level error rates (no explicit schedule):
+        the engine rides through whatever the device throws."""
+        from repro.storage.faults import FaultInjector
+
+        injector = FaultInjector(seed=3, read_error_rate=0.05,
+                                 bit_rot_rate=0.03)
+        db = Database(fast_config(capacity_pages=2048, buffer_capacity=48),
+                      injector=injector)
+        tree = db.create_index()
+        txn = db.begin()
+        for i in range(300):
+            tree.insert(txn, key_of(i), value_of(i, 0))
+        db.commit(txn)
+        db.flush_everything()
+        for wave in range(1, 6):
+            db.evict_everything()
+            for i in range(300):
+                assert tree.lookup(key_of(i)) == value_of(i, wave - 1)
+            txn = db.begin()
+            for i in range(300):
+                tree.update(txn, key_of(i), value_of(i, wave))
+            db.commit(txn)
+            db.flush_everything()
+        assert db.stats.get("single_page_recoveries") >= 1
+        assert db.stats.get("txns_aborted") == 0
+        assert verify_tree(tree).ok
+
+    def test_fault_storm_with_crashes_interleaved(self):
+        """Faults and crashes together: the full gauntlet."""
+        rng = random.Random(42)
+        db = fresh_db()
+        tree = db.create_index()
+        committed: dict[bytes, bytes] = {}
+        txn = db.begin()
+        for i in range(200):
+            tree.insert(txn, key_of(i), value_of(i, 0))
+            committed[key_of(i)] = value_of(i, 0)
+        db.commit(txn)
+        db.flush_everything()
+
+        for round_no in range(6):
+            data_pages = list(range(db.config.data_start,
+                                    db.allocated_pages()))
+            db.device.inject_bit_rot(rng.choice(data_pages), nbits=5)
+            db.evict_everything()
+            txn = db.begin()
+            for i in rng.sample(range(200), 20):
+                value = value_of(i, round_no + 1)
+                tree.update(txn, key_of(i), value)
+                committed[key_of(i)] = value
+            db.commit(txn)
+            if round_no % 2 == 0:
+                db.checkpoint()
+            db.crash()
+            db.restart()
+            tree = db.tree(1)
+        assert dict(tree.range_scan()) == committed
+        assert verify_tree(tree).ok

@@ -1,0 +1,128 @@
+"""Unit tests: workload generators and the fleet failure model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.fleet import (
+    NEARLINE_LSE_ANNUAL_RATE,
+    FleetModel,
+    FleetOutcome,
+)
+from repro.workloads.generator import KeyValueWorkload, WorkloadSpec
+
+
+class TestWorkloadSpec:
+    def test_defaults_valid(self):
+        spec = WorkloadSpec()
+        assert spec.n_keys > 0
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_keys=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(skew=-1)
+
+
+class TestKeyValueWorkload:
+    def test_keys_sort_numerically(self):
+        wl = KeyValueWorkload(WorkloadSpec(n_keys=50))
+        keys = wl.all_keys()
+        assert keys == sorted(keys)
+        assert len(set(keys)) == 50
+
+    def test_deterministic_across_instances(self):
+        a = KeyValueWorkload(WorkloadSpec(seed=9))
+        b = KeyValueWorkload(WorkloadSpec(seed=9))
+        assert [a.pick() for _ in range(50)] == [b.pick() for _ in range(50)]
+        assert list(a.load_stream()) == list(b.load_stream())
+
+    def test_load_stream_covers_every_key_once(self):
+        wl = KeyValueWorkload(WorkloadSpec(n_keys=100))
+        pairs = list(wl.load_stream())
+        assert len(pairs) == 100
+        assert {k for k, _v in pairs} == set(wl.all_keys())
+
+    def test_uniform_spread(self):
+        wl = KeyValueWorkload(WorkloadSpec(n_keys=10, skew=0.0, seed=1))
+        picks = [wl.pick() for _ in range(2000)]
+        counts = [picks.count(i) for i in range(10)]
+        assert min(counts) > 100  # roughly even
+
+    def test_zipf_concentrates_on_low_ranks(self):
+        wl = KeyValueWorkload(WorkloadSpec(n_keys=100, skew=1.2, seed=1))
+        picks = [wl.pick() for _ in range(3000)]
+        hot = sum(1 for p in picks if p < 10)
+        assert hot > len(picks) * 0.5
+
+    def test_update_stream_versions_increase(self):
+        wl = KeyValueWorkload(WorkloadSpec(n_keys=10))
+        updates = list(wl.update_stream(20))
+        assert len(updates) == 20
+        for key, value in updates:
+            assert key in wl.all_keys()
+            assert value.startswith(b"v")
+
+    def test_mixed_stream_is_applicable(self):
+        """Every op in the stream is valid against a dict model that
+        starts fully loaded."""
+        wl = KeyValueWorkload(WorkloadSpec(n_keys=30, seed=3))
+        model = {wl.key(i): wl.value(i) for i in range(30)}
+        for action, key, value in wl.mixed_stream(300):
+            if action == "insert":
+                assert key not in model
+                model[key] = value
+            elif action == "update":
+                assert key in model
+                model[key] = value
+            else:
+                assert key in model
+                del model[key]
+
+    @settings(max_examples=20, deadline=None)
+    @given(skew=st.floats(0, 2), seed=st.integers(0, 1000))
+    def test_pick_always_in_range(self, skew, seed):
+        wl = KeyValueWorkload(WorkloadSpec(n_keys=37, skew=skew, seed=seed))
+        for _ in range(100):
+            assert 0 <= wl.pick() < 37
+
+
+class TestFleetModel:
+    def test_schedule_deterministic(self):
+        a = FleetModel(200, 1000, seed=5).schedule()
+        b = FleetModel(200, 1000, seed=5).schedule()
+        assert a == b
+
+    def test_schedule_sorted_by_time(self):
+        faults = FleetModel(300, 1000, seed=2).schedule()
+        times = [f.time for f in faults]
+        assert times == sorted(times)
+
+    def test_incident_rate_tracks_study(self):
+        """About 9.5% of nearline devices per year develop LSEs [2]."""
+        model = FleetModel(4000, 1000, years=1.0,
+                           annual_lse_rate=NEARLINE_LSE_ANNUAL_RATE, seed=11)
+        devices_hit = len({f.device_index for f in model.schedule()})
+        rate = devices_hit / 4000
+        assert 0.07 <= rate <= 0.12
+
+    def test_errors_cluster_within_devices(self):
+        """The study found dozens of errors on affected drives."""
+        faults = FleetModel(2000, 1000, errors_per_incident=5.0,
+                            seed=3).schedule()
+        per_device: dict[int, int] = {}
+        for fault in faults:
+            per_device[fault.device_index] = per_device.get(fault.device_index, 0) + 1
+        assert max(per_device.values()) > 1
+
+    def test_fault_kinds_mixed(self):
+        faults = FleetModel(2000, 1000, silent_fraction=0.4, seed=4).schedule()
+        kinds = {f.kind for f in faults}
+        assert "read-error" in kinds
+        assert kinds & {"bit-rot", "lost-write"}
+
+    def test_outcome_availability(self):
+        outcome = FleetOutcome(devices=100, media_failures=3,
+                               system_failures=2)
+        assert outcome.availability == pytest.approx(0.95)
+        assert FleetOutcome().availability == 1.0
