@@ -1,0 +1,130 @@
+"""Perf-snapshot entry point: ``python benchmarks/run_all.py``.
+
+Runs the headline performance probes on the simulated substrate and
+writes a ``BENCH_<tag>.json`` snapshot next to the repo root:
+
+* **single-page recovery I/Os** at growing total log volume (the
+  segmented-WAL acceptance check: reads stay O(chain length));
+* **log append throughput** (records/s and MB/s, wall time) including
+  chain-head index maintenance;
+* **group-commit effect**: forces needed for a burst of small
+  transactions, batched vs. unbatched.
+
+CI runs this after the test suites so every build leaves a comparable
+perf artifact.  Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [output-dir]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+for path in (_ROOT, os.path.join(_ROOT, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from benchmarks.common import fast_db, key_of, value_of  # noqa: E402
+from benchmarks.test_ext_segmented_log import (  # noqa: E402
+    CHAIN_LENGTH,
+    run_recovery_with_foreign_traffic,
+)
+from repro.sim.clock import SimClock  # noqa: E402
+from repro.sim.iomodel import NULL_PROFILE  # noqa: E402
+from repro.sim.stats import Stats  # noqa: E402
+from repro.wal.log_manager import LogManager  # noqa: E402
+from repro.wal.lsn import NULL_LSN  # noqa: E402
+from repro.wal.ops import OpInsert  # noqa: E402
+from repro.wal.records import LogRecord, LogRecordKind  # noqa: E402
+
+
+def bench_recovery_ios() -> dict:
+    """Recovery log reads as the log grows (should stay flat)."""
+    points = []
+    for foreign in (0, 2000, 8000):
+        result, log_bytes, segments = run_recovery_with_foreign_traffic(foreign)
+        points.append({
+            "foreign_updates": foreign,
+            "log_bytes": log_bytes,
+            "segments": segments,
+            "log_pages_read": result.log_pages_read,
+            "records_applied": result.records_applied,
+            "total_random_ios": result.total_random_ios,
+        })
+    reads = [p["log_pages_read"] for p in points]
+    return {
+        "chain_length": CHAIN_LENGTH,
+        "points": points,
+        "reads_flat": max(reads) <= max(1, min(reads)) + 2,
+    }
+
+
+def bench_append_throughput(n_records: int = 50_000) -> dict:
+    """Wall-time throughput of the segmented append path."""
+    log = LogManager(SimClock(), NULL_PROFILE, Stats())
+    prev = {pid: NULL_LSN for pid in range(128)}
+    payload = b"v" * 48
+    t0 = time.perf_counter()
+    for i in range(n_records):
+        pid = i % 128
+        prev[pid] = log.append(LogRecord(
+            LogRecordKind.UPDATE, txn_id=1, page_id=pid,
+            page_prev_lsn=prev[pid], op=OpInsert(0, b"key", payload)))
+    elapsed = time.perf_counter() - t0
+    return {
+        "records": n_records,
+        "seconds": round(elapsed, 4),
+        "records_per_second": round(n_records / elapsed),
+        "mb_per_second": round(log.encoded_size() / elapsed / 1e6, 2),
+        "segments": log.segment_count,
+    }
+
+
+def bench_group_commit(n_txns: int = 200) -> dict:
+    """Log forces for a burst of one-op transactions, both flavours."""
+    out = {}
+    for label, batched in (("unbatched", False), ("batched", True)):
+        db, tree = fast_db(50)
+        before = db.stats.get("log_forces")
+        if batched:
+            with db.group_commit():
+                for i in range(n_txns):
+                    txn = db.begin()
+                    tree.update(txn, key_of(i % 50), value_of(i, 1))
+                    db.commit(txn)
+        else:
+            for i in range(n_txns):
+                txn = db.begin()
+                tree.update(txn, key_of(i % 50), value_of(i, 1))
+                db.commit(txn)
+        out[label] = {
+            "commits": n_txns,
+            "log_forces": db.stats.get("log_forces") - before,
+        }
+    return out
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else _ROOT
+    snapshot = {
+        "generated_unix": int(time.time()),
+        "python": sys.version.split()[0],
+        "recovery_ios_vs_log_volume": bench_recovery_ios(),
+        "log_append_throughput": bench_append_throughput(),
+        "group_commit": bench_group_commit(),
+    }
+    path = os.path.join(out_dir, "BENCH_segmented_wal.json")
+    with open(path, "w") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {path}")
+    print(json.dumps(snapshot, indent=2))
+
+
+if __name__ == "__main__":
+    main()

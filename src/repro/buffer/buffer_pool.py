@@ -16,7 +16,14 @@ Responsibilities:
 
 The pool never reads the device directly: the engine supplies a
 ``fetcher`` that performs the read *plus* detection and, if necessary,
-single-page recovery (Figure 8's page-retrieval logic).
+single-page recovery (Figure 8's page-retrieval logic).  Detection is
+therefore *on the fix path*: any reader — B-tree, heap, baseline,
+scrubber — that faults a page in transparently triggers Figure-10
+recovery.  For failures detected *after* the fix (cross-page invariant
+checks on an already-resident frame), :meth:`repair_failure` closes
+the loop: it quarantines the suspect frame, runs the engine-supplied
+``repairer`` (Figure 8's dispatch), and re-fixes the repaired page, so
+readers never patch pages themselves.
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.buffer.eviction import ClockEviction
-from repro.errors import BufferPoolError
+from repro.errors import BufferPoolError, SinglePageFailure
 from repro.page.page import Page
 from repro.sim.stats import Stats
 from repro.storage.device import StorageDevice
@@ -55,7 +62,9 @@ class BufferPool:
                  capacity: int,
                  fetcher: Callable[[int], Page] | None = None,
                  on_page_cleaned: Callable[[Page], None] | None = None,
-                 on_before_write: Callable[[Page], None] | None = None) -> None:
+                 on_before_write: Callable[[Page], None] | None = None,
+                 repairer: Callable[[SinglePageFailure], Page] | None = None,
+                 ) -> None:
         if capacity < 1:
             raise ValueError("buffer pool needs at least one frame")
         self.device = device
@@ -65,6 +74,7 @@ class BufferPool:
         self.fetcher = fetcher or self._default_fetch
         self.on_page_cleaned = on_page_cleaned
         self.on_before_write = on_before_write
+        self.repairer = repairer
         self._frames: dict[int, Frame] = {}
         self._policy = ClockEviction()
 
@@ -119,6 +129,31 @@ class BufferPool:
     def _default_fetch(self, page_id: int) -> Page:
         raw = self.device.read(page_id)
         return Page(self.device.page_size, raw)
+
+    # ------------------------------------------------------------------
+    # Self-repair (Figure 8, applied to an already-fixed page)
+    # ------------------------------------------------------------------
+    def repair_failure(self, failure: SinglePageFailure) -> Page:
+        """Repair a page that failed verification *after* it was fixed.
+
+        Cross-page checks (fence keys, Section 4.2) can only run once a
+        page is resident, so their failures surface on frames the pool
+        already holds.  The suspect frame is dropped without write-back
+        (its in-memory image is untrustworthy), the repairer runs the
+        Figure-8 dispatch — single-page recovery or escalation — and
+        the repaired page is re-fixed through the normal read path.
+        """
+        if self.repairer is None:
+            raise failure
+        page_id = failure.page_id
+        if page_id in self._frames:
+            if self._frames[page_id].pin_count > 0:
+                raise failure  # pinned elsewhere; cannot repair safely
+            # Do not write the corrupt image back.
+            self.drop_frame(page_id)
+        self.stats.bump("pool_repairs")
+        self.repairer(failure)
+        return self.fix(page_id)
 
     # ------------------------------------------------------------------
     # Dirty tracking

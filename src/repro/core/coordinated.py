@@ -91,8 +91,10 @@ class CoordinatedRecovery:
         # so each distinct log page is fetched once for the whole batch.
         restored: list[tuple[int, Page, list[LogRecord]]] = []
         for page_id, entry, page, backup_lsn in fetched:
+            start_lsn = self.log_reader.chain_start_lsn(page_id,
+                                                        entry.last_lsn)
             records = self.log_reader.walk_page_chain(
-                entry.recovery_start_lsn, backup_lsn)
+                start_lsn, backup_lsn, page_id=page_id)
             restored.append((page_id, page, records))
 
         # Phase 3: replay, in memory, per page.

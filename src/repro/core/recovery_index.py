@@ -55,7 +55,13 @@ class PriEntry:
 
     @property
     def recovery_start_lsn(self) -> int:
-        """Where the per-page chain walk starts (Figure 9)."""
+        """The PRI's *own* lower bound for the chain walk (Figure 9).
+
+        Recovery does not start here: the entry "may fall behind" while
+        the page is buffered (Figure 6), so the actual start is
+        :meth:`repro.wal.log_reader.LogReader.chain_start_lsn`, which
+        also consults the log's chain-head index.
+        """
         return self.last_lsn if self.last_lsn is not None else self.backup_page_lsn
 
 

@@ -98,8 +98,12 @@ class SinglePageRecovery:
 
         # Steps 3-4: walk the per-page chain back to the backup, then
         # apply the records oldest-first (the LIFO stack of Figure 10).
-        start_lsn = entry.recovery_start_lsn
-        records = self.log_reader.walk_page_chain(start_lsn, backup_lsn)
+        # The start comes from the chain-head index where the PRI has
+        # fallen behind, so updates logged since the last write-back
+        # are replayed too instead of being lost with the dropped frame.
+        start_lsn = self.log_reader.chain_start_lsn(page_id, entry.last_lsn)
+        records = self.log_reader.walk_page_chain(start_lsn, backup_lsn,
+                                                  page_id=page_id)
         applied = self._replay(page, records, backup_lsn)
 
         # Step 5: move the page to a new location; the failed location

@@ -1,0 +1,310 @@
+"""Checkpointing, PRI persistence, page backups, and log retention.
+
+This component owns everything that bounds recovery work:
+
+* **checkpoints** (Section 5.2.6): flush a snapshot of the dirty page
+  table, persist the page recovery index into its reserved page
+  region, and write the CHECKPOINT_END master record;
+* **page backups** (Section 5.2.1): explicit page copies, in-log
+  full-page images, and full database backups, plus the write-back
+  hooks that apply the Section-6 freshness policy and log PRI updates
+  (Figure 11);
+* **log retention and truncation**: the oldest LSN any retained
+  structure may still need, and the copy-forward step that refreshes
+  backups pinning the log head.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.backup import BackupPolicy, make_log_image_payload
+from repro.core.recovery_index import PageRecoveryIndex, PartitionedRecoveryIndex
+from repro.errors import ConfigError
+from repro.page.page import Page, PageType
+from repro.wal.records import BackupRef, CheckpointData, LogRecord, LogRecordKind
+
+
+class Checkpointer:
+    """Checkpoint + PRI persistence + backup/retention machinery."""
+
+    def __init__(self, db) -> None:  # noqa: ANN001 - Database facade
+        self.db = db
+
+    def _partitions(self) -> tuple[PageRecoveryIndex, ...]:
+        pri = self.db.pri
+        if isinstance(pri, PartitionedRecoveryIndex):
+            return pri.partitions
+        return (pri,)
+
+    # ------------------------------------------------------------------
+    # Checkpoints (Section 5.2.6)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Write a checkpoint; returns the CHECKPOINT_END LSN."""
+        db = self.db
+        db.log.append(LogRecord(LogRecordKind.CHECKPOINT_BEGIN))
+        # Snapshot first: only pages dirty *now* are forced out —
+        # later PRI updates may add a few random reads to a subsequent
+        # restart, which Section 5.2.6 accepts to avoid a never-ending
+        # tail of writes.
+        dirty_snapshot = sorted(db.pool.dirty_page_table())
+        att = [(txn.txn_id, txn.last_lsn, txn.is_system)
+               for txn in db.tm.active.values()]
+        for page_id in dirty_snapshot:
+            if db.pool.resident(page_id):
+                db.pool.flush_page(page_id)
+        pri_images: dict[int, int] = {}
+        if db.config.spf_enabled:
+            pri_images = self.persist_pri()
+        checkpoint = CheckpointData(db.pool.dirty_page_table(), att,
+                                    pri_images)
+        lsn = db.log.log_checkpoint_end(checkpoint)
+        db.stats.bump("checkpoints")
+        return lsn
+
+    def persist_pri(self) -> dict[int, int]:
+        """Serialize the PRI into its reserved page region.
+
+        Each page gets a fresh full-page-image log record that acts as
+        its backup; partition p's pages are covered by partition 1-p,
+        so no page holds its own recovery information (Section 5.2.2).
+        Both partitions are serialized *first* so that neither snapshot
+        depends on entries created while writing the other.
+
+        Returns ``{page_id: image record LSN}`` for the checkpoint
+        record, which is how restart finds the images.
+        """
+        db = self.db
+        cfg = db.config
+        per_partition = cfg.pri_region_pages_per_partition
+        chunk_capacity = cfg.page_size - 64
+        blobs = [partition.serialize() for partition in self._partitions()]
+        image_lsns: dict[int, int] = {}
+        for p, blob in enumerate(blobs):
+            pages_needed = max(1, -(-len(blob) // chunk_capacity))
+            if pages_needed > per_partition:
+                raise ConfigError(
+                    f"PRI partition {p} needs {pages_needed} pages, "
+                    f"region holds {per_partition}")
+            page_ids = self.pri_partition_pages(p)
+            for seq in range(per_partition):
+                page_id = page_ids[seq]
+                chunk = blob[seq * chunk_capacity:(seq + 1) * chunk_capacity]
+                page = Page.format(cfg.page_size, page_id,
+                                   PageType.RECOVERY_INDEX)
+                header = struct.pack("<IHH", len(chunk), seq, pages_needed)
+                start = 32 + 8  # page header + chunk header
+                page.data[32:start] = header
+                page.data[start:start + len(chunk)] = chunk
+                page.seal()
+                record = LogRecord(LogRecordKind.FULL_PAGE_IMAGE,
+                                   page_id=page_id,
+                                   image=make_log_image_payload(page))
+                lsn = db.log.append(record)
+                page.page_lsn = lsn
+                page.seal()
+                db.device.write(page_id, page.data)
+                image_lsns[page_id] = lsn
+                # Covered by the *other* partition (in memory; the next
+                # checkpoint persists these entries).
+                db.pri.set_backup(page_id, BackupRef.log_image(lsn), lsn,
+                                  db.clock.now)
+                db.pri.record_write(page_id, lsn)
+        db.stats.bump("pri_persists")
+        return image_lsns
+
+    def pri_partition_pages(self, partition: int) -> list[int]:
+        """Page ids of the region pages holding ``partition``'s blob.
+
+        Partition p's blob lives on parity-p pages; a parity-p page is
+        covered by index partition 1-p.  Hence no page holds the
+        information needed for its own recovery (Section 5.2.2).
+        """
+        cfg = self.db.config
+        pages = [pid for pid in range(cfg.pri_region_start, cfg.pri_region_end)
+                 if pid % 2 == partition]
+        return pages[:cfg.pri_region_pages_per_partition]
+
+    # ------------------------------------------------------------------
+    # Write-back hooks (Figure 11 and the Section-6 backup policy)
+    # ------------------------------------------------------------------
+    def on_before_write(self, page: Page) -> None:
+        """Take a fresh page copy if the freshness policy says so."""
+        db = self.db
+        if not db.config.spf_enabled:
+            return
+        policy: BackupPolicy = db.config.backup_policy
+        page_id = page.page_id
+        if not db.pri.covers(page_id):
+            return
+        entry = db.pri.lookup(page_id)
+        age = db.clock.now - entry.backup_time
+        if not policy.due(page.update_count, age):
+            return
+        self.take_page_copy(page)
+
+    def on_page_cleaned(self, page: Page) -> None:
+        """Figure 11: after the write, log the PRI update; no force."""
+        db = self.db
+        if not db.config.log_completed_writes:
+            return
+        record = LogRecord(LogRecordKind.PRI_UPDATE, page_id=page.page_id,
+                           page_lsn=page.page_lsn)
+        db.log.append(record)
+        db.stats.bump("pri_update_records")
+        if db.config.spf_enabled:
+            db.pri.record_write(page.page_id, page.page_lsn)
+
+    # ------------------------------------------------------------------
+    # Page backups (Section 5.2.1)
+    # ------------------------------------------------------------------
+    def take_page_copy(self, page: Page) -> int:
+        """Explicit per-page backup (Section 5.2.1, second source).
+
+        The new copy goes to a fresh location; the page recovery index
+        then yields the old location, which is freed only afterwards —
+        never overwrite the only backup.
+        """
+        db = self.db
+        image = page.copy()
+        image.reset_update_count()
+        image.seal()
+        location = db.backup_store.store_page_copy(bytes(image.data),
+                                                   page.page_lsn)
+        record = LogRecord(LogRecordKind.BACKUP_PAGE, page_id=page.page_id,
+                           page_lsn=page.page_lsn,
+                           backup_ref=BackupRef.page_copy(location))
+        db.log.append(record)
+        old_ref = db.pri.set_backup(page.page_id,
+                                    BackupRef.page_copy(location),
+                                    page.page_lsn, db.clock.now)
+        db.backup_store.free_if_page_copy(old_ref)
+        page.reset_update_count()
+        db.stats.bump("policy_page_copies")
+        return location
+
+    def take_log_image(self, page_id: int) -> int:
+        """In-log page backup (Section 5.2.1, fourth source)."""
+        db = self.db
+        page = db.pool.fix(page_id)
+        try:
+            image = page.copy()
+            image.reset_update_count()
+            image.seal()
+            record = LogRecord(LogRecordKind.FULL_PAGE_IMAGE, page_id=page_id,
+                               page_lsn=page.page_lsn,
+                               image=make_log_image_payload(image))
+            lsn = db.log.append(record)
+            if db.config.spf_enabled:
+                old_ref = db.pri.set_backup(
+                    page_id, BackupRef.log_image(lsn), page.page_lsn,
+                    db.clock.now)
+                db.backup_store.free_if_page_copy(old_ref)
+            page.reset_update_count()
+            return lsn
+        finally:
+            db.pool.unfix(page_id)
+
+    def take_full_backup(self) -> int:
+        """Full database backup (checkpointed, then copied)."""
+        db = self.db
+        self.checkpoint()
+        images: dict[int, bytes] = {}
+        page_lsns: dict[int, int] = {}
+        next_free = db.allocated_pages()
+        for page_id in range(next_free):
+            raw = db.device.raw_image(page_id)
+            if raw is None:
+                continue
+            images[page_id] = raw
+            page_lsns[page_id] = Page(db.config.page_size, raw).page_lsn
+        # Sequential read of the copied range.
+        db.clock.advance(db.config.device_profile.read_cost(
+            len(images) * db.config.page_size, sequential=True))
+        backup_id = db.backup_store.store_full_backup(images, page_lsns)
+        backup_lsn = db.log.append_and_force(
+            LogRecord(LogRecordKind.BACKUP_FULL, backup_id=backup_id))
+        if db.config.spf_enabled:
+            db.pri.set_range_backup(0, next_free,
+                                    BackupRef.full_backup(backup_id),
+                                    backup_lsn, db.clock.now)
+        return backup_id
+
+    # ------------------------------------------------------------------
+    # Log retention
+    # ------------------------------------------------------------------
+    def log_retention_bound(self) -> int:
+        """Oldest LSN any retained structure may still need.
+
+        Three constraints:
+
+        * single-page recovery walks each page's chain back to its most
+          recent backup — so the bound is the minimum backup LSN over
+          all covered pages (the page recovery index knows it; this is
+          a quiet benefit of per-page backups: fresher backups shorten
+          mandatory log retention);
+        * restart needs the log from the master checkpoint;
+        * rollback needs every active transaction's first record.
+        """
+        from repro.wal.records import BackupRefKind
+
+        db = self.db
+        bound = db.log.master_checkpoint_lsn or db.log.end_lsn
+        for txn in db.tm.active.values():
+            if txn.first_lsn:
+                bound = min(bound, txn.first_lsn)
+        if db.config.spf_enabled:
+            for partition in self._partitions():
+                # Backups that *live in the log* must be retained.
+                for ref in partition._refs:
+                    if ref.kind in (BackupRefKind.LOG_IMAGE,
+                                    BackupRefKind.FORMAT_RECORD):
+                        bound = min(bound, ref.value)
+                # A page updated since its backup needs its chain back
+                # to the backup; a page whose backup is current needs
+                # nothing (Figure 7: the LSN field is only valid for
+                # pages updated since the last backup).
+                for page_id in partition._page_lsns:
+                    pos = partition._find_range(page_id)
+                    if pos is not None:
+                        bound = min(bound, partition._lsns[pos])
+        return bound
+
+    def truncate_log(self, copy_forward: bool = True,
+                     copy_budget: int = 64) -> int:
+        """Reclaim the log head up to :meth:`log_retention_bound`.
+
+        With ``copy_forward``, pages whose *old* backups pin the bound
+        below the master checkpoint first get fresh page copies (up to
+        ``copy_budget`` of them) — the copy-forward step familiar from
+        log-structured systems, here driven by the page recovery
+        index's backup-page field.
+        """
+        db = self.db
+        target = db.log.master_checkpoint_lsn or db.log.durable_lsn
+        if copy_forward and db.config.spf_enabled:
+            self._copy_forward_pinning_pages(target, copy_budget)
+        return db.log.truncate(self.log_retention_bound())
+
+    def _copy_forward_pinning_pages(self, target: int, budget: int) -> None:
+        db = self.db
+        pri_region = range(db.config.pri_region_start,
+                           db.config.pri_region_end)
+        pinning: list[int] = []
+        for partition in self._partitions():
+            for i in range(len(partition._starts)):
+                if partition._lsns[i] >= target:
+                    continue
+                start, end = partition._starts[i], partition._ends[i]
+                if end - start > budget:
+                    continue  # a huge stale range needs a full backup
+                pinning.extend(pid for pid in range(start, end)
+                               if pid not in pri_region)
+        for page_id in sorted(set(pinning))[:budget]:
+            page = db.pool.fix(page_id)
+            try:
+                self.take_page_copy(page)
+            finally:
+                db.pool.unfix(page_id)
+            db.stats.bump("copy_forward_backups")

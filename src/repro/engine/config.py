@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.core.backup import BackupPolicy
 from repro.sim.iomodel import HDD_PROFILE, IOProfile
+from repro.wal.segments import DEFAULT_SEGMENT_BYTES
 
 
 @dataclass
@@ -51,6 +52,15 @@ class EngineConfig:
     #: (the "Gary Smith" check); disabled only for the detection
     #: ablation — without it, lost writes go unnoticed
     pri_lsn_check: bool = True
+
+    #: encoded-byte budget of one in-memory log segment (the unit of
+    #: indexed log lookup and truncation)
+    log_segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    #: group commit: commit-triggered forces harden the whole buffered
+    #: tail, and :meth:`TransactionManager.group_commit` batches may
+    #: share one force across many commits.  Disabled, every user
+    #: commit forces its own prefix (the ablation baseline).
+    group_commit: bool = True
 
     backup_policy: BackupPolicy = field(
         default_factory=lambda: BackupPolicy(every_n_updates=100))

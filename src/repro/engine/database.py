@@ -1,10 +1,21 @@
-"""The database engine.
+"""The database engine facade.
 
 One :class:`Database` owns one simulated device, one recovery log, one
-buffer pool, a transaction manager, any number of Foster B-tree
-indexes, and — when single-page failures are enabled — the page
-recovery index, the backup store, and the recovery machinery of
-Sections 5.2.2–5.2.6.
+buffer pool, a transaction manager, and — when single-page failures
+are enabled — the page recovery index, the backup store, and the
+recovery machinery of Sections 5.2.2–5.2.6.  The engine core is
+decomposed into cohesive components that the facade wires together:
+
+* :class:`repro.engine.catalog.Catalog` — metadata-page records and
+  the index/heap registries;
+* :class:`repro.engine.allocator.PageAllocator` — page allocation and
+  the free-space pool;
+* :class:`repro.engine.checkpointer.Checkpointer` — checkpoints, PRI
+  persistence, page backups, and log retention/truncation;
+* :class:`repro.core.recovery_manager.RecoveryManager` — the Figure-8
+  page-retrieval logic, installed as the buffer pool's fetcher *and*
+  repairer, so every read through :meth:`repro.buffer.buffer_pool.
+  BufferPool.fix` transparently detects and repairs page failures.
 
 Page layout on the device::
 
@@ -24,22 +35,23 @@ import struct
 
 from repro.btree.tree import FosterBTree
 from repro.buffer.buffer_pool import BufferPool
-from repro.core.backup import BackupPolicy, BackupStore, make_log_image_payload
+from repro.core.backup import BackupStore
 from repro.core.recovery_index import PageRecoveryIndex, PartitionedRecoveryIndex
 from repro.core.recovery_manager import RecoveryManager
 from repro.core.single_page import SinglePageRecovery
 from repro.detect.scrubber import Scrubber, ScrubReport
+from repro.engine.allocator import PageAllocator
+from repro.engine.catalog import HEAP_INDEX_OFFSET, METADATA_PAGE, Catalog
+from repro.engine.checkpointer import Checkpointer
 from repro.engine.config import EngineConfig
 from repro.errors import (
-    ConfigError,
     MediaFailure,
-    PageFailureKind,
     ReproError,
     SinglePageFailure,
     SystemFailure,
 )
 from repro.page.page import Page, PageType
-from repro.page.slotted import Record, SlottedPage
+from repro.page.slotted import SlottedPage
 from repro.sim.clock import SimClock
 from repro.sim.stats import Stats
 from repro.storage.device import StorageDevice
@@ -49,17 +61,8 @@ from repro.txn.manager import TransactionManager
 from repro.txn.transaction import Transaction
 from repro.wal.log_manager import LogManager
 from repro.wal.log_reader import LogReader
-from repro.wal.lsn import NULL_LSN
-from repro.wal.ops import OpInitSlotted, OpInsert, OpUpdateValue
-from repro.wal.records import (
-    BackupRef,
-    CheckpointData,
-    LogicalUndo,
-    LogRecord,
-    LogRecordKind,
-)
-
-_METADATA_PAGE = 0
+from repro.wal.ops import OpInitSlotted, OpInsert
+from repro.wal.records import BackupRef, LogicalUndo
 
 
 class Database:
@@ -79,7 +82,9 @@ class Database:
             "db0", cfg.page_size, cfg.capacity_pages, self.clock,
             cfg.device_profile, self.stats, self.injector,
             proof_read=cfg.proof_read_writes)
-        self.log = LogManager(self.clock, cfg.log_profile, self.stats)
+        self.log = LogManager(self.clock, cfg.log_profile, self.stats,
+                              segment_bytes=cfg.log_segment_bytes,
+                              group_commit=cfg.group_commit)
         self.tm = TransactionManager(self.log, self.stats)
         self.locks = LockManager()
         self.tm.on_finish = lambda txn: self.locks.release_all(txn.txn_id)
@@ -92,16 +97,13 @@ class Database:
         else:
             self.pri = PageRecoveryIndex()
 
-        self._build_recovery_stack()
-        self.pool = BufferPool(
-            self.device, self.log, self.stats, cfg.buffer_capacity,
-            fetcher=self.recovery_manager.fetch_page,
-            on_page_cleaned=self._on_page_cleaned,
-            on_before_write=self._on_before_write)
+        self.catalog = Catalog(self)
+        self.allocator = PageAllocator(self)
+        self.checkpointer = Checkpointer(self)
 
-        self._trees: dict[int, FosterBTree] = {}
-        self._heaps: dict[int, object] = {}
-        self._root_cache: dict[int, int] = {}
+        self._build_recovery_stack()
+        self.pool = self._build_pool(self.device)
+
         self._crashed = False
         self._media_failed = False
         self._bootstrap()
@@ -125,74 +127,49 @@ class Database:
             on_media_failure=self._on_media_failure,
             pri_lsn_check=cfg.pri_lsn_check and cfg.spf_enabled)
 
+    def _build_pool(self, device: StorageDevice) -> BufferPool:
+        """Buffer pool wired to the detection/repair/backup hooks."""
+        return BufferPool(
+            device, self.log, self.stats, self.config.buffer_capacity,
+            fetcher=self.recovery_manager.fetch_page,
+            on_page_cleaned=self.checkpointer.on_page_cleaned,
+            on_before_write=self.checkpointer.on_before_write,
+            repairer=self.recovery_manager.handle_failure)
+
+    def _wire_pool(self) -> None:
+        """Re-point pool hooks after the recovery stack was rebuilt."""
+        self.pool.fetcher = self.recovery_manager.fetch_page
+        self.pool.repairer = self.recovery_manager.handle_failure
+
     def _bootstrap(self) -> None:
         """Create the metadata page of a fresh database."""
         sys_txn = self.tm.begin(system=True)
-        page = Page.format(self.config.page_size, _METADATA_PAGE,
+        page = Page.format(self.config.page_size, METADATA_PAGE,
                            PageType.METADATA)
         self.pool.fix_new(page)
         format_lsn = self.tm.log_format(sys_txn, page, 0,
                                         OpInitSlotted(PageType.METADATA))
-        self._note_format(page.page_id, format_lsn)
+        self.note_format(page.page_id, format_lsn)
         self.pool.mark_dirty(page.page_id, format_lsn)
         slotted = SlottedPage(page)
-        lsn = self.tm.log_update(
-            sys_txn, page, 0,
-            OpInsert(slotted.slot_count, b"next_free",
-                     struct.pack("<q", self.config.data_start)))
-        self.pool.mark_dirty(page.page_id, lsn)
-        lsn = self.tm.log_update(
-            sys_txn, page, 0,
-            OpInsert(slotted.slot_count, b"next_index",
-                     struct.pack("<q", 1)))
-        self.pool.mark_dirty(page.page_id, lsn)
+        for key, value in ((b"next_free", self.config.data_start),
+                           (b"next_index", 1)):
+            lsn = self.tm.log_update(
+                sys_txn, page, 0,
+                OpInsert(slotted.slot_count, key, struct.pack("<q", value)))
+            self.pool.mark_dirty(page.page_id, lsn)
         self.pool.unfix(page.page_id)
         self.tm.commit(sys_txn)
         self.log.force()
 
-    def _note_format(self, page_id: int, format_lsn: int) -> None:
+    def note_format(self, page_id: int, format_lsn: int) -> None:
         """A formatting record doubles as the page's backup image."""
         if self.config.spf_enabled:
             self.pri.set_backup(page_id, BackupRef.format_record(format_lsn),
                                 format_lsn, self.clock.now)
 
     # ------------------------------------------------------------------
-    # Metadata-page records
-    # ------------------------------------------------------------------
-    def _meta_find(self, slotted: SlottedPage, key: bytes) -> int | None:
-        for i in range(slotted.slot_count):
-            if slotted.record_key(i) == key:
-                return i
-        return None
-
-    def _meta_get(self, key: bytes) -> int | None:
-        page = self.pool.fix(_METADATA_PAGE)
-        try:
-            slotted = SlottedPage(page)
-            slot = self._meta_find(slotted, key)
-            if slot is None:
-                return None
-            return struct.unpack("<q", slotted.read_record(slot).value)[0]
-        finally:
-            self.pool.unfix(_METADATA_PAGE)
-
-    def _meta_set(self, txn: Transaction, key: bytes, value: int) -> None:
-        page = self.pool.fix(_METADATA_PAGE)
-        try:
-            slotted = SlottedPage(page)
-            slot = self._meta_find(slotted, key)
-            packed = struct.pack("<q", value)
-            if slot is None:
-                op = OpInsert(slotted.slot_count, key, packed)
-            else:
-                op = OpUpdateValue(slot, slotted.read_record(slot).value, packed)
-            lsn = self.tm.log_update(txn, page, 0, op)
-            self.pool.mark_dirty(_METADATA_PAGE, lsn)
-        finally:
-            self.pool.unfix(_METADATA_PAGE)
-
-    # ------------------------------------------------------------------
-    # TreeContext protocol (used by FosterBTree)
+    # TreeContext protocol (used by FosterBTree and HeapFile)
     # ------------------------------------------------------------------
     def fix(self, page_id: int) -> Page:
         return self.pool.fix(page_id)
@@ -205,82 +182,31 @@ class Database:
 
     def allocate_page(self, txn: Transaction, page_type: PageType,
                       index_id: int) -> Page:
-        """Allocate a page: reuse the free list, else extend the heap.
-
-        Both the free-list pop and the high-water-mark bump are logged
-        metadata updates, so allocation is crash-consistent; the
-        formatting record then resets the new page's log chain and
-        doubles as its backup image (Section 5.2.1).
-        """
-        page_id = self._pop_free_list(txn)
-        if page_id is None:
-            next_free = self._meta_get(b"next_free")
-            assert next_free is not None
-            if next_free >= self.config.capacity_pages:
-                raise MediaFailure(self.device.name, "device full")
-            self._meta_set(txn, b"next_free", next_free + 1)
-            page_id = next_free
-        page = Page.format(self.config.page_size, page_id, page_type)
-        if self.pool.resident(page_id):
-            # A freed page may still have a stale (clean) frame.
-            self.pool.drop_frame(page_id)
-        self.pool.fix_new(page)
-        format_lsn = self.tm.log_format(txn, page, index_id,
-                                        OpInitSlotted(page_type))
-        self._note_format(page_id, format_lsn)
-        self.pool.mark_dirty(page_id, format_lsn)
-        return page
+        return self.allocator.allocate_page(txn, page_type, index_id)
 
     def free_page(self, page_id: int) -> None:
-        """Return a page to the free-space pool (deferred reuse).
+        self.allocator.free_page(page_id)
 
-        Used after page migration: "the old, failed location can be
-        deallocated to the free space pool" (Section 5.2.3).  The
-        release is logged via the metadata page under a system
-        transaction.
-        """
-        sys_txn = self.tm.begin(system=True)
-        blob = self._meta_get_blob(b"freelist") or b""
-        self._meta_set_blob(sys_txn, b"freelist",
-                            blob + struct.pack("<q", page_id))
-        self.tm.commit(sys_txn)
-        self.stats.bump("pages_freed")
-
-    def _pop_free_list(self, txn: Transaction) -> int | None:
-        blob = self._meta_get_blob(b"freelist")
-        if not blob:
-            return None
-        page_id = struct.unpack_from("<q", blob, len(blob) - 8)[0]
-        self._meta_set_blob(txn, b"freelist", blob[:-8])
-        return page_id
+    def allocate_heap_page(self, txn: Transaction, heap_id: int) -> Page:
+        return self.allocator.allocate_heap_page(txn, heap_id)
 
     def get_root(self, index_id: int) -> int:
-        root = self._root_cache.get(index_id)
-        if root is None:
-            root = self._meta_get(b"root:%d" % index_id)
-            if root is None:
-                raise ConfigError(f"index {index_id} does not exist")
-            self._root_cache[index_id] = root
-        return root
+        return self.catalog.get_root(index_id)
 
     def set_root(self, txn: Transaction, index_id: int, root_pid: int) -> None:
-        self._meta_set(txn, b"root:%d" % index_id, root_pid)
-        self._root_cache[index_id] = root_pid
+        self.catalog.set_root(txn, index_id, root_pid)
 
     def handle_invariant_failure(self, failure: SinglePageFailure) -> Page:
         """Cross-page verification failed mid-traversal (Section 4.2).
 
-        Evict the suspect frame (its in-memory image is untrustworthy),
-        run the Figure-8 dispatch, and re-fix the repaired page.
+        Routed through the buffer pool's fix path: the pool quarantines
+        the suspect frame, runs Figure-8 dispatch via its repairer, and
+        re-fixes the repaired page (Figure-10 recovery on the read path).
         """
-        page_id = failure.page_id
-        if self.pool.resident(page_id):
-            if self.pool.pin_count(page_id) > 0:
-                raise failure  # pinned elsewhere; cannot repair safely
-            # Do not write the corrupt image back.
-            self.pool.drop_frame(page_id)
-        self.recovery_manager.handle_failure(failure)
-        return self.pool.fix(page_id)
+        return self.pool.repair_failure(failure)
+
+    def take_page_copy(self, page: Page) -> int:
+        return self.checkpointer.take_page_copy(page)
 
     # ------------------------------------------------------------------
     # UndoContext protocol (used by TransactionManager)
@@ -294,169 +220,36 @@ class Database:
 
     def logical_compensate(self, txn: Transaction, index_id: int,
                            undo: LogicalUndo, undo_next_lsn: int) -> None:
-        if index_id >= 1_000_000:
+        if index_id >= HEAP_INDEX_OFFSET:
             # Heap ops use RID-level compensation (slot stability).
-            self.heap(index_id - 1_000_000).compensate(txn, undo,
-                                                       undo_next_lsn)
+            self.heap(index_id - HEAP_INDEX_OFFSET).compensate(
+                txn, undo, undo_next_lsn)
             return
-        tree = self.tree(index_id)
-        tree.compensate(txn, undo, undo_next_lsn)
+        self.tree(index_id).compensate(txn, undo, undo_next_lsn)
 
     # ------------------------------------------------------------------
-    # Write-back hooks (Figure 11 and the Section-6 backup policy)
-    # ------------------------------------------------------------------
-    def _on_before_write(self, page: Page) -> None:
-        """Take a fresh page copy if the freshness policy says so."""
-        if not self.config.spf_enabled:
-            return
-        policy: BackupPolicy = self.config.backup_policy
-        page_id = page.page_id
-        if not self.pri.covers(page_id):
-            return
-        entry = self.pri.lookup(page_id)
-        age = self.clock.now - entry.backup_time
-        if not policy.due(page.update_count, age):
-            return
-        self.take_page_copy(page)
-
-    def take_page_copy(self, page: Page) -> int:
-        """Explicit per-page backup (Section 5.2.1, second source).
-
-        The new copy goes to a fresh location; the page recovery index
-        then yields the old location, which is freed only afterwards —
-        never overwrite the only backup.
-        """
-        image = page.copy()
-        image.reset_update_count()
-        image.seal()
-        location = self.backup_store.store_page_copy(bytes(image.data),
-                                                     page.page_lsn)
-        record = LogRecord(LogRecordKind.BACKUP_PAGE, page_id=page.page_id,
-                           page_lsn=page.page_lsn,
-                           backup_ref=BackupRef.page_copy(location))
-        self.log.append(record)
-        old_ref = self.pri.set_backup(page.page_id,
-                                      BackupRef.page_copy(location),
-                                      page.page_lsn, self.clock.now)
-        self.backup_store.free_if_page_copy(old_ref)
-        page.reset_update_count()
-        self.stats.bump("policy_page_copies")
-        return location
-
-    def _on_page_cleaned(self, page: Page) -> None:
-        """Figure 11: after the write, log the PRI update; no force."""
-        if not self.config.log_completed_writes:
-            return
-        record = LogRecord(LogRecordKind.PRI_UPDATE, page_id=page.page_id,
-                           page_lsn=page.page_lsn)
-        self.log.append(record)
-        self.stats.bump("pri_update_records")
-        if self.config.spf_enabled:
-            self.pri.record_write(page.page_id, page.page_lsn)
-
-    # ------------------------------------------------------------------
-    # Heap files (second storage structure; Section 5.2 applies to any)
-    # ------------------------------------------------------------------
-    def create_heap(self):  # noqa: ANN201 - returns HeapFile
-        """Create a new heap file; returns the heap handle."""
-        from repro.heap.heapfile import HeapFile
-
-        self._require_running()
-        next_id = self._meta_get(b"next_index")
-        assert next_id is not None
-        sys_txn = self.tm.begin(system=True)
-        self._meta_set(sys_txn, b"next_index", next_id + 1)
-        self._meta_set_blob(sys_txn, b"heap:%d" % next_id, b"")
-        self.tm.commit(sys_txn)
-        heap = HeapFile(next_id, self, self.tm, self.stats)
-        self._heaps[next_id] = heap
-        # DDL durability, as for create_index.
-        self.log.force()
-        return heap
-
-    def heap(self, heap_id: int):  # noqa: ANN201
-        heap = self._heaps.get(heap_id)
-        if heap is None:
-            from repro.heap.heapfile import HeapFile
-
-            if self._meta_get_blob(b"heap:%d" % heap_id) is None:
-                raise ConfigError(f"heap {heap_id} does not exist")
-            heap = HeapFile(heap_id, self, self.tm, self.stats)
-            self._heaps[heap_id] = heap
-        return heap
-
-    def get_heap_pages(self, heap_id: int) -> list[int]:
-        blob = self._meta_get_blob(b"heap:%d" % heap_id)
-        if blob is None:
-            raise ConfigError(f"heap {heap_id} does not exist")
-        count = len(blob) // 8
-        return [struct.unpack_from("<q", blob, i * 8)[0] for i in range(count)]
-
-    def allocate_heap_page(self, txn: Transaction, heap_id: int) -> Page:
-        """Grow a heap by one page (logged, crash-consistent)."""
-        pages = self.get_heap_pages(heap_id)
-        page = self.allocate_page(txn, PageType.HEAP,
-                                  index_id=1_000_000 + heap_id)
-        pages.append(page.page_id)
-        blob = b"".join(struct.pack("<q", pid) for pid in pages)
-        self._meta_set_blob(txn, b"heap:%d" % heap_id, blob)
-        return page
-
-    def _meta_get_blob(self, key: bytes) -> bytes | None:
-        page = self.pool.fix(_METADATA_PAGE)
-        try:
-            slotted = SlottedPage(page)
-            slot = self._meta_find(slotted, key)
-            if slot is None:
-                return None
-            return slotted.read_record(slot).value
-        finally:
-            self.pool.unfix(_METADATA_PAGE)
-
-    def _meta_set_blob(self, txn: Transaction, key: bytes, value: bytes) -> None:
-        page = self.pool.fix(_METADATA_PAGE)
-        try:
-            slotted = SlottedPage(page)
-            slot = self._meta_find(slotted, key)
-            if slot is None:
-                op = OpInsert(slotted.slot_count, key, value)
-            else:
-                op = OpUpdateValue(slot, slotted.read_record(slot).value, value)
-            lsn = self.tm.log_update(txn, page, 0, op)
-            self.pool.mark_dirty(_METADATA_PAGE, lsn)
-        finally:
-            self.pool.unfix(_METADATA_PAGE)
-
-    # ------------------------------------------------------------------
-    # Indexes
+    # Catalog objects
     # ------------------------------------------------------------------
     def create_index(self) -> FosterBTree:
-        """Create a new Foster B-tree; returns the tree handle."""
         self._require_running()
-        next_id = self._meta_get(b"next_index")
-        assert next_id is not None
-        sys_txn = self.tm.begin(system=True)
-        self._meta_set(sys_txn, b"next_index", next_id + 1)
-        self.tm.commit(sys_txn)
-        tree = FosterBTree.create(next_id, self, self.tm, self.stats)
-        self._trees[next_id] = tree
-        # DDL durability: creating an index must survive a crash even
-        # before the first user commit forces the log.
-        self.log.force()
-        return tree
+        return self.catalog.create_index()
 
     def tree(self, index_id: int) -> FosterBTree:
-        tree = self._trees.get(index_id)
-        if tree is None:
-            # Re-attach after restart: the root lives in the metadata page.
-            self.get_root(index_id)
-            tree = FosterBTree(index_id, self, self.tm, self.stats)
-            self._trees[index_id] = tree
-        return tree
+        return self.catalog.tree(index_id)
+
+    def create_heap(self):  # noqa: ANN201 - returns HeapFile
+        self._require_running()
+        return self.catalog.create_heap()
+
+    def heap(self, heap_id: int):  # noqa: ANN201
+        return self.catalog.heap(heap_id)
+
+    def get_heap_pages(self, heap_id: int) -> list[int]:
+        return self.catalog.get_heap_pages(heap_id)
 
     @property
     def indexes(self) -> list[int]:
-        return sorted(self._trees)
+        return sorted(self.catalog.trees)
 
     # ------------------------------------------------------------------
     # Transactions
@@ -474,6 +267,10 @@ class Database:
 
     def abort(self, txn: Transaction) -> None:
         self.tm.abort(txn, self)
+
+    def group_commit(self):  # noqa: ANN201 - context manager
+        """Batch user commits into one log force (group commit)."""
+        return self.tm.group_commit()
 
     # Convenience single-operation transactions ------------------------
     def insert(self, tree: FosterBTree, key: bytes, value: bytes,
@@ -505,95 +302,27 @@ class Database:
         self.commit(auto)
 
     # ------------------------------------------------------------------
-    # Checkpoints (Section 5.2.6)
+    # Checkpoints, backups, retention (delegated to the checkpointer)
     # ------------------------------------------------------------------
     def checkpoint(self) -> int:
-        """Write a checkpoint; returns the CHECKPOINT_END LSN."""
         self._require_running()
-        self.log.append(LogRecord(LogRecordKind.CHECKPOINT_BEGIN))
-        # Snapshot first: only pages dirty *now* are forced out —
-        # later PRI updates may add a few random reads to a subsequent
-        # restart, which Section 5.2.6 accepts to avoid a never-ending
-        # tail of writes.
-        dirty_snapshot = sorted(self.pool.dirty_page_table())
-        att = [(txn.txn_id, txn.last_lsn, txn.is_system)
-               for txn in self.tm.active.values()]
-        for page_id in dirty_snapshot:
-            if self.pool.resident(page_id):
-                self.pool.flush_page(page_id)
-        pri_images: dict[int, int] = {}
-        if self.config.spf_enabled:
-            pri_images = self._persist_pri()
-        checkpoint = CheckpointData(self.pool.dirty_page_table(), att,
-                                    pri_images)
-        lsn = self.log.log_checkpoint_end(checkpoint)
-        self.stats.bump("checkpoints")
-        return lsn
+        return self.checkpointer.checkpoint()
 
-    def _persist_pri(self) -> dict[int, int]:
-        """Serialize the PRI into its reserved page region.
+    def take_full_backup(self) -> int:
+        self._require_running()
+        return self.checkpointer.take_full_backup()
 
-        Each page gets a fresh full-page-image log record that acts as
-        its backup; partition p's pages are covered by partition 1-p,
-        so no page holds its own recovery information (Section 5.2.2).
-        Both partitions are serialized *first* so that neither snapshot
-        depends on entries created while writing the other.
+    def take_log_image(self, page_id: int) -> int:
+        self._require_running()
+        return self.checkpointer.take_log_image(page_id)
 
-        Returns ``{page_id: image record LSN}`` for the checkpoint
-        record, which is how restart finds the images.
-        """
-        cfg = self.config
-        partitions = (self.pri.partitions
-                      if isinstance(self.pri, PartitionedRecoveryIndex)
-                      else (self.pri,))
-        per_partition = cfg.pri_region_pages_per_partition
-        chunk_capacity = cfg.page_size - 64
-        blobs = [partition.serialize() for partition in partitions]
-        image_lsns: dict[int, int] = {}
-        for p, blob in enumerate(blobs):
-            pages_needed = max(1, -(-len(blob) // chunk_capacity))
-            if pages_needed > per_partition:
-                raise ConfigError(
-                    f"PRI partition {p} needs {pages_needed} pages, "
-                    f"region holds {per_partition}")
-            page_ids = self._pri_partition_pages(p)
-            for seq in range(per_partition):
-                page_id = page_ids[seq]
-                chunk = blob[seq * chunk_capacity:(seq + 1) * chunk_capacity]
-                page = Page.format(cfg.page_size, page_id,
-                                   PageType.RECOVERY_INDEX)
-                header = struct.pack("<IHH", len(chunk), seq, pages_needed)
-                start = 32 + 8  # page header + chunk header
-                page.data[32:start] = header
-                page.data[start:start + len(chunk)] = chunk
-                page.seal()
-                record = LogRecord(LogRecordKind.FULL_PAGE_IMAGE,
-                                   page_id=page_id,
-                                   image=make_log_image_payload(page))
-                lsn = self.log.append(record)
-                page.page_lsn = lsn
-                page.seal()
-                self.device.write(page_id, page.data)
-                image_lsns[page_id] = lsn
-                # Covered by the *other* partition (in memory; the next
-                # checkpoint persists these entries).
-                self.pri.set_backup(page_id, BackupRef.log_image(lsn), lsn,
-                                    self.clock.now)
-                self.pri.record_write(page_id, lsn)
-        self.stats.bump("pri_persists")
-        return image_lsns
+    def log_retention_bound(self) -> int:
+        return self.checkpointer.log_retention_bound()
 
-    def _pri_partition_pages(self, partition: int) -> list[int]:
-        """Page ids of the region pages holding ``partition``'s blob.
-
-        Partition p's blob lives on parity-p pages; a parity-p page is
-        covered by index partition 1-p.  Hence no page holds the
-        information needed for its own recovery (Section 5.2.2).
-        """
-        cfg = self.config
-        pages = [pid for pid in range(cfg.pri_region_start, cfg.pri_region_end)
-                 if pid % 2 == partition]
-        return pages[:cfg.pri_region_pages_per_partition]
+    def truncate_log(self, copy_forward: bool = True,
+                     copy_budget: int = 64) -> int:
+        self._require_running()
+        return self.checkpointer.truncate_log(copy_forward, copy_budget)
 
     # ------------------------------------------------------------------
     # Crash / restart / media failure
@@ -602,16 +331,14 @@ class Database:
         """Simulate a system failure: volatile state vanishes."""
         self.log.crash()
         self.pool.drop_all()
-        self._root_cache.clear()
-        self._trees.clear()
-        self._heaps.clear()
+        self.catalog.invalidate_volatile()
         self.tm.active.clear()
         if isinstance(self.pri, PartitionedRecoveryIndex):
             self.pri.partitions = (PageRecoveryIndex(), PageRecoveryIndex())
         else:
             self.pri = PageRecoveryIndex()
         self._build_recovery_stack()
-        self.pool.fetcher = self.recovery_manager.fetch_page
+        self._wire_pool()
         self._crashed = True
         self.stats.bump("system_crashes")
 
@@ -653,147 +380,17 @@ class Database:
                                "media failed; run media recovery first")
 
     # ------------------------------------------------------------------
-    # Log retention
+    # Scrubbing, helpers
     # ------------------------------------------------------------------
-    def log_retention_bound(self) -> int:
-        """Oldest LSN any retained structure may still need.
-
-        Three constraints:
-
-        * single-page recovery walks each page's chain back to its most
-          recent backup — so the bound is the minimum backup LSN over
-          all covered pages (the page recovery index knows it; this is
-          a quiet benefit of per-page backups: fresher backups shorten
-          mandatory log retention);
-        * restart needs the log from the master checkpoint;
-        * rollback needs every active transaction's first record.
-        """
-        from repro.wal.records import BackupRefKind
-
-        bound = self.log.master_checkpoint_lsn or self.log.end_lsn
-        for txn in self.tm.active.values():
-            if txn.first_lsn:
-                bound = min(bound, txn.first_lsn)
-        if self.config.spf_enabled:
-            partitions = (self.pri.partitions
-                          if isinstance(self.pri, PartitionedRecoveryIndex)
-                          else (self.pri,))
-            for partition in partitions:
-                # Backups that *live in the log* must be retained.
-                for ref in partition._refs:
-                    if ref.kind in (BackupRefKind.LOG_IMAGE,
-                                    BackupRefKind.FORMAT_RECORD):
-                        bound = min(bound, ref.value)
-                # A page updated since its backup needs its chain back
-                # to the backup; a page whose backup is current needs
-                # nothing (Figure 7: the LSN field is only valid for
-                # pages updated since the last backup).
-                for page_id in partition._page_lsns:
-                    pos = partition._find_range(page_id)
-                    if pos is not None:
-                        bound = min(bound, partition._lsns[pos])
-        return bound
-
-    def truncate_log(self, copy_forward: bool = True,
-                     copy_budget: int = 64) -> int:
-        """Reclaim the log head up to :meth:`log_retention_bound`.
-
-        With ``copy_forward``, pages whose *old* backups pin the bound
-        below the master checkpoint first get fresh page copies (up to
-        ``copy_budget`` of them) — the copy-forward step familiar from
-        log-structured systems, here driven by the page recovery
-        index's backup-page field.
-        """
-        self._require_running()
-        target = self.log.master_checkpoint_lsn or self.log.durable_lsn
-        if copy_forward and self.config.spf_enabled:
-            self._copy_forward_pinning_pages(target, copy_budget)
-        return self.log.truncate(self.log_retention_bound())
-
-    def _copy_forward_pinning_pages(self, target: int, budget: int) -> None:
-        partitions = (self.pri.partitions
-                      if isinstance(self.pri, PartitionedRecoveryIndex)
-                      else (self.pri,))
-        pri_region = range(self.config.pri_region_start,
-                           self.config.pri_region_end)
-        pinning: list[int] = []
-        for partition in partitions:
-            for i in range(len(partition._starts)):
-                if partition._lsns[i] >= target:
-                    continue
-                start, end = partition._starts[i], partition._ends[i]
-                if end - start > budget:
-                    continue  # a huge stale range needs a full backup
-                pinning.extend(pid for pid in range(start, end)
-                               if pid not in pri_region)
-        for page_id in sorted(set(pinning))[:budget]:
-            page = self.pool.fix(page_id)
-            try:
-                self.take_page_copy(page)
-            finally:
-                self.pool.unfix(page_id)
-            self.stats.bump("copy_forward_backups")
-
-    # ------------------------------------------------------------------
-    # Backups, scrubbing, fault helpers
-    # ------------------------------------------------------------------
-    def take_full_backup(self) -> int:
-        """Full database backup (checkpointed, then copied)."""
-        self._require_running()
-        self.checkpoint()
-        images: dict[int, bytes] = {}
-        page_lsns: dict[int, int] = {}
-        next_free = self._meta_get(b"next_free") or self.config.data_start
-        for page_id in range(next_free):
-            raw = self.device.raw_image(page_id)
-            if raw is None:
-                continue
-            images[page_id] = raw
-            page_lsns[page_id] = Page(self.config.page_size, raw).page_lsn
-        # Sequential read of the copied range.
-        self.clock.advance(self.config.device_profile.read_cost(
-            len(images) * self.config.page_size, sequential=True))
-        backup_id = self.backup_store.store_full_backup(images, page_lsns)
-        backup_lsn = self.log.append_and_force(
-            LogRecord(LogRecordKind.BACKUP_FULL, backup_id=backup_id))
-        if self.config.spf_enabled:
-            self.pri.set_range_backup(0, next_free,
-                                      BackupRef.full_backup(backup_id),
-                                      backup_lsn, self.clock.now)
-        return backup_id
-
-    def take_log_image(self, page_id: int) -> int:
-        """In-log page backup (Section 5.2.1, fourth source)."""
-        self._require_running()
-        page = self.pool.fix(page_id)
-        try:
-            image = page.copy()
-            image.reset_update_count()
-            image.seal()
-            record = LogRecord(LogRecordKind.FULL_PAGE_IMAGE, page_id=page_id,
-                               page_lsn=page.page_lsn,
-                               image=make_log_image_payload(image))
-            lsn = self.log.append(record)
-            if self.config.spf_enabled:
-                old_ref = self.pri.set_backup(
-                    page_id, BackupRef.log_image(lsn), page.page_lsn,
-                    self.clock.now)
-                self.backup_store.free_if_page_copy(old_ref)
-            page.reset_update_count()
-            return lsn
-        finally:
-            self.pool.unfix(page_id)
-
     def scrub(self, repair: bool = True) -> ScrubReport:
         """Scrub all allocated pages not currently buffered."""
         self._require_running()
-        next_free = self._meta_get(b"next_free") or self.config.data_start
         scrubber = Scrubber(self.device, self.recovery_manager, self.stats,
                             skip=self.pool.resident)
-        return scrubber.scrub(0, next_free, repair=repair)
+        return scrubber.scrub(0, self.allocated_pages(), repair=repair)
 
     def allocated_pages(self) -> int:
-        return self._meta_get(b"next_free") or self.config.data_start
+        return self.allocator.allocated_pages()
 
     def flush_everything(self) -> None:
         """Force all dirty pages out (used by experiments)."""

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.buffer.buffer_pool import BufferPool
 from repro.errors import RecoveryError
 from repro.page.page import Page
 from repro.sim.clock import StopWatch
@@ -49,13 +48,9 @@ def run_media_recovery(db, backup_id: int) -> MediaRecoveryReport:  # noqa: ANN0
     report = MediaRecoveryReport()
     cfg = db.config
 
-    # Find the backup's position in the log.
-    backup_lsn = None
-    for record in db.log.all_records():
-        if (record.kind == LogRecordKind.BACKUP_FULL
-                and record.backup_id == backup_id):
-            backup_lsn = record.lsn
-            break
+    # Find the backup's position via the log's backup-record index —
+    # an O(1) lookup, not a scan of the whole log.
+    backup_lsn = db.log.backup_full_lsn(backup_id)
     if backup_lsn is None:
         raise RecoveryError(f"no log record for full backup {backup_id}")
 
@@ -124,14 +119,9 @@ def run_media_recovery(db, backup_id: int) -> MediaRecoveryReport:  # noqa: ANN0
     # Swap in the replacement and rebuild the volatile stack.
     # ------------------------------------------------------------------
     db.device = replacement
-    db._root_cache.clear()
-    db._trees.clear()
+    db.catalog.invalidate_volatile()
     db._build_recovery_stack()
-    db.pool = BufferPool(
-        replacement, db.log, db.stats, cfg.buffer_capacity,
-        fetcher=db.recovery_manager.fetch_page,
-        on_page_cleaned=db._on_page_cleaned,
-        on_before_write=db._on_before_write)
+    db.pool = db._build_pool(replacement)
     if cfg.spf_enabled:
         db.pri.set_range_backup(0, max(pages) + 1,
                                 BackupRef.full_backup(backup_id),

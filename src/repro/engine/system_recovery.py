@@ -311,7 +311,7 @@ def _load_pri(db, report: RestartReport) -> None:  # noqa: ANN001
     for p in range(n_partitions):
         chunks: dict[int, bytes] = {}
         total_pages = None
-        for page_id in db._pri_partition_pages(p):
+        for page_id in db.checkpointer.pri_partition_pages(p):
             record = fpi_by_page.get(page_id)
             if record is None:
                 continue
@@ -330,11 +330,11 @@ def _load_pri(db, report: RestartReport) -> None:  # noqa: ANN001
         else:
             db.pri = partition
             db._build_recovery_stack()
-            db.pool.fetcher = db.recovery_manager.fetch_page
+            db._wire_pool()
 
     # The region pages' own entries were created *after* the snapshots
     # were serialized (self-coverage ordering); re-derive them from the
-    # image records just used, exactly as _persist_pri recorded them.
+    # image records just used, exactly as persist_pri recorded them.
     for page_id, record in fpi_by_page.items():
         db.pri.set_backup(page_id, BackupRef.log_image(record.lsn),
                           record.lsn, db.clock.now)

@@ -8,6 +8,12 @@ Commit semantics follow Figure 5:
   becomes durable with the next force, and if a crash intervenes the
   (contents-neutral) transaction simply never happened.
 
+Group commit: within a :meth:`TransactionManager.group_commit` block,
+user commits defer their log force; leaving the block hardens every
+batched commit record with **one** sequential write.  Durability is
+batch-scoped — a crash inside the block loses the whole batch, which
+is the standard group-commit trade the caller opts into.
+
 Rollback walks the per-transaction chain (Section 5.1.1) backwards,
 writing compensation log records (CLRs) whose ``undo_next_lsn`` makes
 rollback restartable, exactly as in ARIES.  Undo is *logical* where the
@@ -18,7 +24,8 @@ otherwise.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+import contextlib
+from typing import Callable, Iterator, Protocol
 
 from repro.errors import TransactionError
 from repro.page.page import Page
@@ -62,6 +69,7 @@ class TransactionManager:
         self.active: dict[int, Transaction] = {}
         #: called with each finished txn id (lock release etc.)
         self.on_finish: Callable[[Transaction], None] | None = None
+        self._commit_batch: list[int] | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -85,17 +93,49 @@ class TransactionManager:
         lsn = self.log.append(record)
         txn.note_logged(lsn)
         if not txn.is_system:
-            # Durability: user commits force the log.  The force also
-            # hardens any earlier system-transaction commits ("prior to
-            # or with the commit record of any dependent user
-            # transaction").
-            self.log.force()
+            if self._commit_batch is not None:
+                # Group commit: the force is deferred to the end of the
+                # batch; this commit's durability rides with it.
+                self._commit_batch.append(lsn)
+            else:
+                # Durability: user commits force the log.  The force
+                # also hardens any earlier system-transaction commits
+                # ("prior to or with the commit record of any dependent
+                # user transaction") — with group commit enabled the
+                # whole buffered tail shares this one write.
+                self.log.commit_force(lsn)
             self.stats.bump("user_txns_committed")
         else:
             self.stats.bump("system_txns_committed")
         txn.state = TxnState.COMMITTED
         self._finish(txn)
         return lsn
+
+    @contextlib.contextmanager
+    def group_commit(self) -> Iterator[None]:
+        """Batch user commits: one log force for the whole block.
+
+        Nested blocks join the outermost batch.  The closing force runs
+        even if the block raises, so every commit that *did* return is
+        durable once the block exits.  With group commit disabled on
+        the log (the ablation baseline), the block is a no-op and every
+        commit forces individually.
+        """
+        if not self.log.group_commit:
+            yield  # ablation: batching disabled, per-commit forces
+            return
+        if self._commit_batch is not None:
+            yield  # nested: the outer block's force covers us
+            return
+        self._commit_batch = []
+        try:
+            yield
+        finally:
+            batch, self._commit_batch = self._commit_batch, None
+            if batch:
+                self.log.force()
+                self.stats.bump("group_commit_batches")
+                self.stats.bump("group_commit_batched_commits", len(batch))
 
     def abort(self, txn: Transaction, ctx: UndoContext) -> None:
         """Roll back all of ``txn``'s updates and write the ABORT record."""

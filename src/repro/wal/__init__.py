@@ -1,4 +1,10 @@
-"""Write-ahead log: records, chains, stable storage, and readers.
+"""Write-ahead log: records, chains, segments, stable storage, readers.
+
+The log buffer is **segmented**: fixed-size in-memory segments behind a
+truncation-aware directory (:mod:`repro.wal.segments`), so point
+lookups, range scans, truncation, and crash discard are all indexed —
+never scans of the whole log.  A per-page **chain head index** kept
+current on append makes every page's chain addressable directly.
 
 The log implements the two chains the paper builds on:
 
@@ -16,6 +22,7 @@ crashes; unforced records are lost by ``LogManager.crash()``.
 from repro.wal.lsn import LOG_START, NULL_LSN
 from repro.wal.log_manager import LogManager
 from repro.wal.log_reader import LogReader
+from repro.wal.segments import DEFAULT_SEGMENT_BYTES, LogSegment, SegmentDirectory
 from repro.wal.ops import (
     OpDelete,
     OpInitSlotted,
@@ -35,6 +42,9 @@ from repro.wal.records import (
 __all__ = [
     "LogManager",
     "LogReader",
+    "LogSegment",
+    "SegmentDirectory",
+    "DEFAULT_SEGMENT_BYTES",
     "LogRecord",
     "LogRecordKind",
     "LogicalUndo",

@@ -3,10 +3,24 @@
 The log manager owns:
 
 * LSN assignment (byte offsets);
-* the in-memory log buffer and the *durable* prefix (``durable_lsn``);
-* force semantics: user-transaction commits force the log, system
-  transactions do not (Figure 5) — their commit records ride along
-  with the next force;
+* the in-memory log buffer, held as fixed-size **segments** behind a
+  :class:`repro.wal.segments.SegmentDirectory` — ``record_at`` and
+  ``records_from`` cost one bisect over segments plus dict hits, never
+  a scan of the whole log;
+* the **per-page chain head index**: for every page, the LSN of its
+  most recent chain record (UPDATE / COMPENSATION / FORMAT), kept
+  current on append — this is what makes the per-page chain of the
+  paper *addressable* without knowing the page's current PageLSN;
+* an index of full-backup records so media recovery can locate a
+  backup's log position without materializing the log;
+* the *durable* prefix (``durable_lsn``) and force semantics:
+  user-transaction commits force the log, system transactions do not
+  (Figure 5) — their commit records ride along with the next force;
+* **group commit**: a commit-triggered force hardens the whole buffered
+  tail in one sequential write, so ride-along records (system-txn
+  commits, PRI updates, and — under ``TransactionManager.
+  group_commit()`` — other transactions' commit records) share the
+  force they would otherwise each pay for;
 * crash semantics: :meth:`crash` discards everything after the durable
   prefix, which is how experiments create torn states (e.g. a data
   page written but its PRI-update record lost, Figure 12).
@@ -24,18 +38,36 @@ from repro.sim.iomodel import IOProfile
 from repro.sim.stats import Stats
 from repro.wal.lsn import LOG_START, NULL_LSN
 from repro.wal.records import LogRecord, LogRecordKind
+from repro.wal.segments import DEFAULT_SEGMENT_BYTES, SegmentDirectory
+
+#: Record kinds that advance a page's PageLSN and therefore form the
+#: per-page chain (Section 5.1.4).  FULL_PAGE_IMAGE and PRI_UPDATE
+#: records carry a page id but are chain *roots* / bookkeeping, not
+#: chain members.
+_CHAIN_KINDS = frozenset({
+    LogRecordKind.UPDATE,
+    LogRecordKind.COMPENSATION,
+    LogRecordKind.FORMAT_PAGE,
+})
 
 
 class LogManager:
-    """Append-only log with an explicit durable prefix."""
+    """Segmented append-only log with an explicit durable prefix."""
 
-    def __init__(self, clock: SimClock, profile: IOProfile, stats: Stats) -> None:
+    def __init__(self, clock: SimClock, profile: IOProfile, stats: Stats,
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 group_commit: bool = True) -> None:
         self.clock = clock
         self.profile = profile
         self.stats = stats
-        self._records: dict[int, LogRecord] = {}
-        self._encoded: dict[int, bytes] = {}
-        self._order: list[int] = []
+        self.group_commit = group_commit
+        self._dir = SegmentDirectory(segment_bytes)
+        self._chain_heads: dict[int, int] = {}
+        #: FORMAT record LSN -> the chain head it displaced (page
+        #: reuse); lets a crash that loses the FORMAT restore the old
+        #: incarnation's head exactly, without rescanning the log.
+        self._format_displaced: dict[int, int] = {}
+        self._backup_full_lsns: dict[int, int] = {}
         self._next_lsn = LOG_START
         self._durable_lsn = NULL_LSN
         #: LSN of the most recent CHECKPOINT_END record; modelled as the
@@ -61,15 +93,24 @@ class LogManager:
         """
         return self._durable_lsn
 
+    @property
+    def segment_count(self) -> int:
+        return self._dir.segment_count
+
     def append(self, record: LogRecord) -> int:
         """Assign an LSN, buffer the record, and return the LSN."""
         encoded = record.encode()
         lsn = self._next_lsn
         record.lsn = lsn
-        self._records[lsn] = record
-        self._encoded[lsn] = encoded
-        self._order.append(lsn)
+        self._dir.append(lsn, record, len(encoded))
         self._next_lsn = lsn + len(encoded)
+        if record.page_id >= 0 and record.kind in _CHAIN_KINDS:
+            if record.kind == LogRecordKind.FORMAT_PAGE:
+                self._format_displaced[lsn] = self._chain_heads.get(
+                    record.page_id, NULL_LSN)
+            self._chain_heads[record.page_id] = lsn
+        elif record.kind == LogRecordKind.BACKUP_FULL:
+            self._backup_full_lsns[record.backup_id] = lsn
         self.stats.bump("log_records")
         self.stats.bump("log_bytes", len(encoded))
         return lsn
@@ -90,6 +131,26 @@ class LogManager:
         self.stats.bump("log_forced_bytes", pending)
         self._durable_lsn = target
 
+    def commit_force(self, commit_lsn: int) -> None:
+        """Force on behalf of a commit record at ``commit_lsn``.
+
+        With group commit (the default) the force extends to the end of
+        the buffer: every buffered record — ride-along system-txn
+        commits, PRI updates, other batched commits — hardens in the
+        same sequential write.  A commit whose record is already
+        durable costs nothing.
+        """
+        record_end = commit_lsn + (self._dir.size_of(commit_lsn) or 0)
+        if record_end <= self._durable_lsn:
+            return
+        if self.group_commit:
+            rider_bytes = self._next_lsn - record_end
+            if rider_bytes > 0:
+                self.stats.bump("group_commit_rider_bytes", rider_bytes)
+            self.force()
+        else:
+            self.force(record_end)
+
     def append_and_force(self, record: LogRecord) -> int:
         lsn = self.append(record)
         self.force()
@@ -100,24 +161,39 @@ class LogManager:
     # ------------------------------------------------------------------
     def record_at(self, lsn: int) -> LogRecord:
         """The record at ``lsn`` (no cost accounting; see LogReader)."""
-        try:
-            return self._records[lsn]
-        except KeyError:
-            raise LogError(f"no log record at LSN {lsn}") from None
+        record = self._dir.get(lsn)
+        if record is None:
+            raise LogError(f"no log record at LSN {lsn}")
+        return record
 
     def has_record(self, lsn: int) -> bool:
-        return lsn in self._records
+        return self._dir.get(lsn) is not None
 
     def records_from(self, start_lsn: int) -> list[LogRecord]:
         """All records with ``lsn >= start_lsn`` in log order."""
-        return [self._records[lsn] for lsn in self._order if lsn >= start_lsn]
+        return list(self._dir.iter_from(start_lsn))
 
     def all_records(self) -> list[LogRecord]:
-        return [self._records[lsn] for lsn in self._order]
+        return list(self._dir.iter_all())
 
     def encoded_size(self) -> int:
         """Total log volume in bytes."""
         return self._next_lsn - LOG_START
+
+    # ------------------------------------------------------------------
+    # Derived indexes
+    # ------------------------------------------------------------------
+    def page_chain_head(self, page_id: int) -> int:
+        """LSN of the newest retained chain record for ``page_id``.
+
+        ``NULL_LSN`` if the page has no retained chain — never updated,
+        or its whole chain was truncated away behind a fresh backup.
+        """
+        return self._chain_heads.get(page_id, NULL_LSN)
+
+    def backup_full_lsn(self, backup_id: int) -> int | None:
+        """Log position of the BACKUP_FULL record for ``backup_id``."""
+        return self._backup_full_lsns.get(backup_id)
 
     # ------------------------------------------------------------------
     # Truncation (log head reclamation)
@@ -135,17 +211,17 @@ class LogManager:
         limit = min(before_lsn, self._durable_lsn or before_lsn)
         if self.master_checkpoint_lsn:
             limit = min(limit, self.master_checkpoint_lsn)
-        removed = 0
-        kept: list[int] = []
-        for lsn in self._order:
-            if lsn < limit:
-                removed += len(self._encoded[lsn])
-                del self._records[lsn]
-                del self._encoded[lsn]
-            else:
-                kept.append(lsn)
-        self._order = kept
-        self._truncated_below = limit
+        removed = self._dir.truncate_below(limit)
+        if removed:
+            self._chain_heads = {pid: lsn for pid, lsn
+                                 in self._chain_heads.items() if lsn >= limit}
+            self._format_displaced = {
+                lsn: (head if head >= limit else NULL_LSN)
+                for lsn, head in self._format_displaced.items()
+                if lsn >= limit}
+            self._backup_full_lsns = {
+                bid: lsn for bid, lsn in self._backup_full_lsns.items()
+                if lsn >= limit}
         self.stats.bump("log_truncations")
         self.stats.bump("log_bytes_truncated", removed)
         return removed
@@ -153,11 +229,11 @@ class LogManager:
     @property
     def truncated_below(self) -> int:
         """Records below this LSN have been reclaimed."""
-        return getattr(self, "_truncated_below", 0)
+        return self._dir.truncated_below
 
     def retained_bytes(self) -> int:
         """Log volume currently held (after truncation)."""
-        return sum(len(self._encoded[lsn]) for lsn in self._order)
+        return self._dir.total_bytes
 
     # ------------------------------------------------------------------
     # Crash semantics
@@ -167,15 +243,30 @@ class LogManager:
 
         Models a system failure: the log buffer vanishes; stable
         storage (the durable prefix and the master checkpoint pointer)
-        survives.
+        survives.  Derived indexes are unwound against the lost tail —
+        a page's chain head retreats along ``page_prev_lsn`` until it
+        lands on a surviving record.
         """
-        lost = [lsn for lsn in self._order if lsn >= self._durable_lsn]
-        for lsn in lost:
-            del self._records[lsn]
-            del self._encoded[lsn]
-        if lost:
-            self._order = self._order[:-len(lost)]
-        self._next_lsn = self._durable_lsn if self._durable_lsn else LOG_START
+        floor = self._durable_lsn if self._durable_lsn else LOG_START
+        lost = self._dir.discard_from(floor)
+        for record in lost:  # newest-first: heads retreat one hop at a time
+            if record.page_id >= 0 and record.kind in _CHAIN_KINDS:
+                is_format = record.kind == LogRecordKind.FORMAT_PAGE
+                displaced = (self._format_displaced.pop(record.lsn, NULL_LSN)
+                             if is_format else NULL_LSN)
+                if self._chain_heads.get(record.page_id) == record.lsn:
+                    # A lost FORMAT (page reuse) restores the displaced
+                    # incarnation's head; other records retreat along
+                    # their prev pointer.
+                    prev = displaced if is_format else record.page_prev_lsn
+                    if prev != NULL_LSN and prev >= self._dir.truncated_below:
+                        self._chain_heads[record.page_id] = prev
+                    else:
+                        self._chain_heads.pop(record.page_id, None)
+            elif record.kind == LogRecordKind.BACKUP_FULL:
+                if self._backup_full_lsns.get(record.backup_id) == record.lsn:
+                    self._backup_full_lsns.pop(record.backup_id, None)
+        self._next_lsn = floor
         if self.master_checkpoint_lsn >= self._next_lsn:
             # The checkpoint record itself was never forced; fall back.
             self.master_checkpoint_lsn = NULL_LSN
