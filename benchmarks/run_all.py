@@ -8,7 +8,9 @@ writes a ``BENCH_<tag>.json`` snapshot next to the repo root:
 * **log append throughput** (records/s and MB/s, wall time) including
   chain-head index maintenance;
 * **group-commit effect**: forces needed for a burst of small
-  transactions, batched vs. unbatched.
+  transactions, batched vs. unbatched;
+* **instant restart**: time-to-first-transaction after a crash, eager
+  vs. on-demand, as the dirty-page count grows 10x.
 
 CI runs this after the test suites so every build leaves a comparable
 perf artifact.  Usage::
@@ -109,6 +111,35 @@ def bench_group_commit(n_txns: int = 200) -> dict:
     return out
 
 
+def bench_instant_restart() -> dict:
+    """Time-to-first-transaction after a crash, both restart modes."""
+    from benchmarks.test_ext_instant_restart import (
+        crashed_db,
+        time_to_first_transaction,
+    )
+
+    points = []
+    for n_keys in (1200, 12000):
+        row: dict = {"keys": n_keys}
+        for mode in ("eager", "on_demand"):
+            db = crashed_db(n_keys)
+            seconds, report = time_to_first_transaction(db, mode)
+            row[mode] = {
+                "ttft_seconds": round(seconds, 4),
+                "dirty_pages": report.dirty_pages_at_analysis_end,
+                "pending_redo_pages": report.pending_redo_pages,
+            }
+        points.append(row)
+    small, large = points
+    return {
+        "points": points,
+        "eager_grows": (large["eager"]["ttft_seconds"]
+                        >= 5 * small["eager"]["ttft_seconds"]),
+        "on_demand_flat": (large["on_demand"]["ttft_seconds"]
+                           <= 2 * small["on_demand"]["ttft_seconds"]),
+    }
+
+
 def main() -> None:
     out_dir = sys.argv[1] if len(sys.argv) > 1 else _ROOT
     snapshot = {
@@ -117,6 +148,7 @@ def main() -> None:
         "recovery_ios_vs_log_volume": bench_recovery_ios(),
         "log_append_throughput": bench_append_throughput(),
         "group_commit": bench_group_commit(),
+        "instant_restart_ttft": bench_instant_restart(),
     }
     path = os.path.join(out_dir, "BENCH_segmented_wal.json")
     with open(path, "w") as fh:

@@ -75,6 +75,10 @@ class BufferPool:
         self.on_page_cleaned = on_page_cleaned
         self.on_before_write = on_before_write
         self.repairer = repairer
+        #: instant restart: called with each freshly fetched page; rolls
+        #: pending restart redo forward in place and returns the rec_lsn
+        #: the new frame must be marked dirty with (None = page clean)
+        self.redo_on_fix = None  # Callable[[Page], int | None] | None
         self._frames: dict[int, Frame] = {}
         self._policy = ClockEviction()
 
@@ -88,9 +92,16 @@ class BufferPool:
             self.stats.bump("buffer_misses")
             self._make_room()
             page = self.fetcher(page_id)
+            rec_lsn = (self.redo_on_fix(page)
+                       if self.redo_on_fix is not None else None)
             frame = Frame(page)
             self._frames[page_id] = frame
             self._policy.admitted(page_id)
+            if rec_lsn is not None:
+                # Stale page rolled forward on fix (instant restart):
+                # the frame starts out dirty, like any redone page.
+                frame.dirty = True
+                frame.rec_lsn = rec_lsn
         else:
             self.stats.bump("buffer_hits")
             self._policy.touched(page_id)

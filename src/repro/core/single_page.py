@@ -125,6 +125,38 @@ class SinglePageRecovery:
         self.stats.bump("spf_records_applied", len(applied))
         return page, result
 
+    def roll_forward(self, page: Page) -> list[LogRecord]:
+        """Chain-forward redo of a *stale but valid* page.
+
+        The instant-restart variant of Figure 10: a page whose PageLSN
+        trails its chain head is treated as an incipient single-page
+        failure, except that the device copy itself serves as the
+        backup image — no backup fetch, no remap, the device location
+        is fine.  The per-page chain is walked back from its head to
+        the page's current PageLSN and the missing updates are applied
+        oldest-first.
+
+        Raises :class:`RecoveryError` if the chain does not connect to
+        the page's current state (the caller falls back to full
+        recovery or to the analysis-pass record list).
+        """
+        page_id = page.page_id
+        start_lsn = self.log_reader.chain_start_lsn(page_id, None)
+        if start_lsn <= page.page_lsn:
+            return []
+        records = self.log_reader.walk_page_chain(start_lsn, page.page_lsn,
+                                                  page_id=page_id)
+        if (records and records[0].kind != LogRecordKind.FORMAT_PAGE
+                and records[0].page_prev_lsn != page.page_lsn):
+            raise RecoveryError(
+                f"page {page_id} chain does not connect: oldest record "
+                f"{records[0].lsn} expects PageLSN "
+                f"{records[0].page_prev_lsn}, page has {page.page_lsn}")
+        applied = self._replay(page, records, page.page_lsn)
+        self.stats.bump("chain_forward_redos")
+        self.stats.bump("chain_forward_records", len(applied))
+        return applied
+
     @staticmethod
     def _replay(page: Page, records: list[LogRecord],
                 backup_lsn: int) -> list[LogRecord]:

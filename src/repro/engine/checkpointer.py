@@ -43,6 +43,12 @@ class Checkpointer:
     def checkpoint(self) -> int:
         """Write a checkpoint; returns the CHECKPOINT_END LSN."""
         db = self.db
+        if db.restart_registry is not None:
+            # A checkpoint completes any on-demand restart first: its
+            # dirty-page table must not silently drop pages whose redo
+            # is still pending, and a checkpoint with pending losers
+            # would strand their rollback behind the new master record.
+            db.restart_registry.drain_all()
         db.log.append(LogRecord(LogRecordKind.CHECKPOINT_BEGIN))
         # Snapshot first: only pages dirty *now* are forced out —
         # later PRI updates may add a few random reads to a subsequent
@@ -237,7 +243,7 @@ class Checkpointer:
     def log_retention_bound(self) -> int:
         """Oldest LSN any retained structure may still need.
 
-        Three constraints:
+        Four constraints:
 
         * single-page recovery walks each page's chain back to its most
           recent backup — so the bound is the minimum backup LSN over
@@ -245,7 +251,10 @@ class Checkpointer:
           a quiet benefit of per-page backups: fresher backups shorten
           mandatory log retention);
         * restart needs the log from the master checkpoint;
-        * rollback needs every active transaction's first record.
+        * rollback needs every active transaction's first record;
+        * an unfinished on-demand restart needs every pending page's
+          first redo record and every pending loser's first record
+          (the completion watermark, see ``RestartRegistry``).
         """
         from repro.wal.records import BackupRefKind
 
@@ -254,6 +263,13 @@ class Checkpointer:
         for txn in db.tm.active.values():
             if txn.first_lsn:
                 bound = min(bound, txn.first_lsn)
+        if db.restart_registry is not None:
+            # Instant restart's completion watermark: pending pages and
+            # losers pin the log until they resolve (the truncation
+            # gate of the on-demand restart state machine).
+            pending = db.restart_registry.retention_bound()
+            if pending is not None:
+                bound = min(bound, pending)
         if db.config.spf_enabled:
             for partition in self._partitions():
                 # Backups that *live in the log* must be retained.

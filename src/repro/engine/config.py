@@ -53,6 +53,17 @@ class EngineConfig:
     #: ablation — without it, lost writes go unnoticed
     pri_lsn_check: bool = True
 
+    #: restart strategy after a system failure:
+    #: ``"eager"`` runs the classic three-pass ARIES restart to
+    #: completion before the database opens; ``"on_demand"`` runs log
+    #: analysis only, registers the surviving dirty-page table and the
+    #: loser-transaction set with a :class:`repro.engine.
+    #: restart_registry.RestartRegistry`, and opens immediately — each
+    #: pending page is rolled forward from its per-page chain on first
+    #: fix (like an incipient single-page failure) and losers are
+    #: undone on lock conflict or by a background drain
+    restart_mode: str = "eager"
+
     #: encoded-byte budget of one in-memory log segment (the unit of
     #: indexed log lookup and truncation)
     log_segment_bytes: int = DEFAULT_SEGMENT_BYTES
@@ -75,6 +86,10 @@ class EngineConfig:
         if self.spf_enabled:
             # PRI maintenance subsumes logging completed writes.
             self.log_completed_writes = True
+        if self.restart_mode not in ("eager", "on_demand"):
+            raise ValueError(
+                f"restart_mode must be 'eager' or 'on_demand', "
+                f"got {self.restart_mode!r}")
         if self.capacity_pages < self.data_start + 8:
             raise ValueError("capacity too small for metadata + PRI region")
 

@@ -87,7 +87,7 @@ class Database:
                               group_commit=cfg.group_commit)
         self.tm = TransactionManager(self.log, self.stats)
         self.locks = LockManager()
-        self.tm.on_finish = lambda txn: self.locks.release_all(txn.txn_id)
+        self.tm.on_finish = self._release_locks_of
         self.backup_store = BackupStore(self.clock, cfg.backup_profile,
                                         self.stats, cfg.page_size)
 
@@ -103,6 +103,12 @@ class Database:
 
         self._build_recovery_stack()
         self.pool = self._build_pool(self.device)
+
+        #: pending-work registry of an on-demand restart (None = no
+        #: restart in progress); see repro.engine.restart_registry
+        self.restart_registry = None
+        #: completion watermark of the most recent on-demand restart
+        self.last_restart_completion_lsn: int | None = None
 
         self._crashed = False
         self._media_failed = False
@@ -161,6 +167,10 @@ class Database:
         self.pool.unfix(page.page_id)
         self.tm.commit(sys_txn)
         self.log.force()
+
+    def _release_locks_of(self, txn: Transaction) -> None:
+        """``on_finish`` hook: a finished transaction drops its locks."""
+        self.locks.release_all(txn.txn_id)
 
     def note_format(self, page_id: int, format_lsn: int) -> None:
         """A formatting record doubles as the page's backup image."""
@@ -329,10 +339,16 @@ class Database:
     # ------------------------------------------------------------------
     def crash(self) -> None:
         """Simulate a system failure: volatile state vanishes."""
+        if self.restart_registry is not None:
+            # Pending instant-restart work dies with the rest of the
+            # volatile state; the next analysis rediscovers it from the
+            # durable log.
+            self.restart_registry.abandon()
         self.log.crash()
         self.pool.drop_all()
         self.catalog.invalidate_volatile()
         self.tm.active.clear()
+        self.locks = LockManager()  # locks are volatile too
         if isinstance(self.pri, PartitionedRecoveryIndex):
             self.pri.partitions = (PageRecoveryIndex(), PageRecoveryIndex())
         else:
@@ -342,13 +358,41 @@ class Database:
         self._crashed = True
         self.stats.bump("system_crashes")
 
-    def restart(self):  # noqa: ANN201 - returns RestartReport
-        """ARIES restart with Figure-12 PRI reconciliation."""
+    def restart(self, mode: str | None = None):  # noqa: ANN201 - RestartReport
+        """ARIES restart with Figure-12 PRI reconciliation.
+
+        ``mode`` overrides ``config.restart_mode`` for this restart:
+        ``"eager"`` recovers fully before returning; ``"on_demand"``
+        runs analysis only and returns with the database open and the
+        remaining work registered (see :attr:`restart_registry`,
+        :meth:`drain_restart`, :meth:`finish_restart`).
+        """
         from repro.engine.system_recovery import run_restart
 
-        report = run_restart(self)
+        report = run_restart(self, mode)
         self._crashed = False
         return report
+
+    @property
+    def restart_pending(self) -> bool:
+        """Is on-demand restart work still unresolved?"""
+        return (self.restart_registry is not None
+                and not self.restart_registry.complete)
+
+    def drain_restart(self, page_budget: int | None = None,
+                      loser_budget: int | None = None) -> tuple[int, int]:
+        """Background drain of pending restart work (bounded by the
+        budgets); returns ``(pages_resolved, losers_resolved)``."""
+        if self.restart_registry is None:
+            return 0, 0
+        return self.restart_registry.drain(page_budget, loser_budget)
+
+    def finish_restart(self) -> tuple[int, int]:
+        """Resolve every pending page and loser (the completion
+        watermark is recorded once the last item resolves)."""
+        if self.restart_registry is None:
+            return 0, 0
+        return self.restart_registry.drain_all()
 
     def _on_media_failure(self, media: MediaFailure) -> int:
         """Escalation callback: abort every active user transaction."""

@@ -1,0 +1,265 @@
+"""The pending-work registry behind instant (on-demand) restart.
+
+The paper's per-page log chain makes every page independently
+recoverable, so restart need not be an offline event: after log
+analysis the database opens immediately and the registry tracks what
+classic ARIES would have done before opening:
+
+* **pending redo pages** — the surviving dirty-page table.  A pending
+  page is rolled forward on its first fix through the buffer pool's
+  ``redo_on_fix`` hook: its stale-but-valid device copy is treated as
+  an incipient single-page failure and brought current from its
+  per-page chain (:meth:`repro.core.single_page.SinglePageRecovery.
+  roll_forward`), falling back to the analysis pass's record list if
+  the chain does not connect;
+* **pending losers** — the loser-transaction set.  Each loser's key
+  locks are re-acquired from its per-transaction chain, so conflicting
+  user transactions trigger rollback of exactly the loser in their way
+  (the lock manager's ``conflict_resolver`` hook); a background
+  :meth:`drain` resolves the rest.
+
+A **completion watermark** gates log truncation: while work is
+pending, :meth:`retention_bound` pins the log at the oldest record any
+pending page or loser may still need; once the last item resolves the
+registry detaches its hooks and records the watermark LSN, after which
+the checkpointer may truncate normally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.system_recovery import (
+    log_pri_repair,
+    redo_page_records,
+    undo_loser,
+)
+from repro.page.page import Page
+from repro.wal.lsn import NULL_LSN
+from repro.wal.records import LogRecord
+
+
+@dataclass
+class PendingLoser:
+    """One loser transaction awaiting lazy rollback."""
+
+    txn_id: int
+    last_lsn: int
+    is_system: bool
+    first_lsn: int = NULL_LSN
+    keys: set[bytes] = field(default_factory=set)
+
+
+class RestartRegistry:
+    """Tracks and resolves the redo/undo work an on-demand restart
+    deferred past the moment the database opened."""
+
+    def __init__(self, db, dpt: dict[int, int],  # noqa: ANN001
+                 page_records: dict[int, list[LogRecord]],
+                 att: dict[int, tuple[int, bool]]) -> None:
+        self.db = db
+        # Mirror the eager pass: pages without collected records need
+        # no redo read at all and are not registered.
+        self.pending_pages: dict[int, list[LogRecord]] = {
+            page_id: records for page_id, records in page_records.items()
+            if records}
+        self.pending_losers: dict[int, PendingLoser] = {}
+        for txn_id, (last_lsn, is_system) in att.items():
+            keys, first_lsn = db.tm.chain_summary(last_lsn)
+            self.pending_losers[txn_id] = PendingLoser(
+                txn_id, last_lsn, is_system, first_lsn, keys)
+        self.completed_at_lsn: int | None = None
+
+    # ------------------------------------------------------------------
+    # Installation / detachment
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Hook the registry into the buffer pool and lock manager."""
+        db = self.db
+        db.restart_registry = self
+        self._orig_fetcher = db.pool.fetcher
+        db.pool.fetcher = self._fetch
+        db.pool.redo_on_fix = self.on_page_fetched
+        db.locks.conflict_resolver = self.resolve_loser_conflict
+        # Loser locks: re-acquired from the per-transaction chains so
+        # new transactions conflict with (and then resolve) exactly the
+        # losers whose keys they touch.
+        for loser in self.pending_losers.values():
+            for key in loser.keys:
+                db.locks.acquire(loser.txn_id, key)
+        db.stats.bump("restart_pending_pages", len(self.pending_pages))
+        db.stats.bump("restart_pending_losers", len(self.pending_losers))
+        self._maybe_finish()
+
+    def abandon(self) -> None:
+        """Drop all pending work without resolving it (a new crash:
+        the next restart's analysis rediscovers everything from the
+        durable log)."""
+        self.pending_pages.clear()
+        self.pending_losers.clear()
+        self._detach()
+
+    def _detach(self) -> None:
+        db = self.db
+        if db.pool.fetcher == self._fetch:
+            db.pool.fetcher = self._orig_fetcher
+        if db.pool.redo_on_fix == self.on_page_fetched:
+            db.pool.redo_on_fix = None
+        if db.locks.conflict_resolver == self.resolve_loser_conflict:
+            db.locks.conflict_resolver = None
+        if db.restart_registry is self:
+            db.restart_registry = None
+
+    def _fetch(self, page_id: int) -> Page:
+        """Fetcher wrapper: a *pending* page is read exactly as the
+        eager redo pass would read it — a page that never reached the
+        device starts from a fresh formatted image (its first pending
+        record is the formatting record), and read failures go through
+        Figure-8 dispatch.  Everything else takes the normal path."""
+        if page_id in self.pending_pages:
+            from repro.engine.system_recovery import _read_for_redo
+
+            return _read_for_redo(self.db, page_id)
+        return self._orig_fetcher(page_id)
+
+    def _maybe_finish(self) -> None:
+        if self.pending_pages or self.pending_losers:
+            return
+        if self.completed_at_lsn is None:
+            # The completion watermark: everything the crash left
+            # behind is resolved; log truncation may proceed past the
+            # pre-crash tail.
+            self.completed_at_lsn = self.db.log.end_lsn
+            self.db.last_restart_completion_lsn = self.completed_at_lsn
+            self.db.stats.bump("instant_restart_completions")
+        self._detach()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_page_count(self) -> int:
+        return len(self.pending_pages)
+
+    @property
+    def pending_loser_count(self) -> int:
+        return len(self.pending_losers)
+
+    @property
+    def complete(self) -> bool:
+        return not self.pending_pages and not self.pending_losers
+
+    def retention_bound(self) -> int | None:
+        """Oldest LSN any pending page or loser may still need, or
+        ``None`` when nothing is pending (the truncation gate)."""
+        bound: int | None = None
+        for records in self.pending_pages.values():
+            lsn = records[0].lsn
+            bound = lsn if bound is None else min(bound, lsn)
+        for loser in self.pending_losers.values():
+            lsn = (loser.first_lsn if loser.first_lsn != NULL_LSN
+                   else loser.last_lsn)
+            bound = lsn if bound is None else min(bound, lsn)
+        return bound
+
+    # ------------------------------------------------------------------
+    # Lazy redo (the buffer pool's redo_on_fix hook)
+    # ------------------------------------------------------------------
+    def on_page_fetched(self, page: Page) -> int | None:
+        """Roll a just-fetched pending page forward.
+
+        Returns the recovery LSN the frame must be marked dirty with,
+        or ``None`` if the page turned out to be current already (the
+        Figure-12 bottom row: generate the lost PRI-update record).
+        """
+        records = self.pending_pages.get(page.page_id)
+        if records is None:
+            return None
+        db = self.db
+        # The page stays pending until its redo *succeeds*: a failure
+        # here propagates out of the fix (no frame is installed) and a
+        # later fix retries, instead of silently serving a stale page.
+        applied = db.recovery_manager.roll_forward_stale(page)
+        if applied is not None:
+            rec_lsn = applied[0].lsn if applied else None
+            n_applied = len(applied)
+        else:
+            # Chain-forward unsupported or the chain did not connect:
+            # replay the analysis pass's record list, exactly as the
+            # eager redo pass would.
+            n_applied = redo_page_records(page, records)
+            rec_lsn = records[0].lsn if n_applied else None
+        del self.pending_pages[page.page_id]
+        db.stats.bump("lazy_redo_pages")
+        db.stats.bump("lazy_redo_records", n_applied)
+        self._maybe_finish()
+        if n_applied == 0:
+            log_pri_repair(db, page)
+            return None
+        return rec_lsn
+
+    def discard_page(self, page_id: int) -> None:
+        """A pending page was reformatted by fresh allocation before
+        its first read: the formatting supersedes all pending redo."""
+        if self.pending_pages.pop(page_id, None) is not None:
+            self.db.stats.bump("lazy_redo_superseded")
+            self._maybe_finish()
+
+    # ------------------------------------------------------------------
+    # Lazy undo (the lock manager's conflict_resolver hook)
+    # ------------------------------------------------------------------
+    def resolve_loser_conflict(self, holder_txn_id: int) -> bool:
+        """A lock request hit ``holder_txn_id``: if it is a pending
+        loser, roll it back now and let the requester retry."""
+        if holder_txn_id not in self.pending_losers:
+            return False
+        self.db.stats.bump("lazy_undo_on_conflict")
+        return self.undo_pending_loser(holder_txn_id)
+
+    def undo_pending_loser(self, txn_id: int) -> bool:
+        loser = self.pending_losers.get(txn_id)
+        if loser is None:
+            return False
+        db = self.db
+        # The loser stays pending until its rollback completes, so a
+        # mid-undo failure neither strands its locks behind a phantom
+        # holder nor lets the completion watermark lift early.
+        undo_loser(db, txn_id, loser.last_lsn, loser.is_system)
+        del self.pending_losers[txn_id]
+        db.locks.release_all(txn_id)
+        db.stats.bump("lazy_undo_txns")
+        self._maybe_finish()
+        return True
+
+    # ------------------------------------------------------------------
+    # Background drain
+    # ------------------------------------------------------------------
+    def drain(self, page_budget: int | None = None,
+              loser_budget: int | None = None) -> tuple[int, int]:
+        """Resolve pending work in the eager pass's order (pages by
+        ascending id, then losers newest-first), up to the budgets.
+        Returns ``(pages_resolved, losers_resolved)``."""
+        db = self.db
+        pages_done = 0
+        for page_id in sorted(self.pending_pages):
+            if page_budget is not None and pages_done >= page_budget:
+                break
+            # The fix path runs the redo hook; drop the pin right away.
+            db.pool.fix(page_id)
+            db.pool.unfix(page_id)
+            pages_done += 1
+        losers_done = 0
+        order = sorted(self.pending_losers.values(),
+                       key=lambda loser: -loser.last_lsn)
+        for loser in order:
+            if loser_budget is not None and losers_done >= loser_budget:
+                break
+            if self.undo_pending_loser(loser.txn_id):
+                losers_done += 1
+        db.stats.bump("restart_drain_pages", pages_done)
+        db.stats.bump("restart_drain_losers", losers_done)
+        return pages_done, losers_done
+
+    def drain_all(self) -> tuple[int, int]:
+        """Resolve everything (used as the checkpoint gate)."""
+        return self.drain()

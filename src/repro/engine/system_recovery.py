@@ -27,6 +27,7 @@ covered by its own mechanism (Section 5.2).
 
 from __future__ import annotations
 
+import bisect
 import struct
 from dataclasses import dataclass, field
 
@@ -44,6 +45,7 @@ from repro.wal.records import BackupRef, LogRecord, LogRecordKind, decompress_im
 class RestartReport:
     """What restart recovery did and what it cost (simulated time)."""
 
+    mode: str = "eager"
     analysis_records: int = 0
     dirty_pages_at_analysis_end: int = 0
     pages_trimmed_by_write_logging: int = 0
@@ -57,16 +59,30 @@ class RestartReport:
     redo_seconds: float = 0.0
     undo_seconds: float = 0.0
     loser_txn_ids: list[int] = field(default_factory=list)
+    #: on-demand mode: work registered for lazy completion instead of
+    #: being done before the database opened
+    pending_redo_pages: int = 0
+    pending_undo_txns: int = 0
 
     @property
     def total_seconds(self) -> float:
         return self.analysis_seconds + self.redo_seconds + self.undo_seconds
 
 
-def run_restart(db) -> RestartReport:  # noqa: ANN001
-    """Run restart recovery against a crashed :class:`Database`."""
+def run_restart(db, mode: str | None = None) -> RestartReport:  # noqa: ANN001
+    """Run restart recovery against a crashed :class:`Database`.
+
+    ``mode`` overrides ``config.restart_mode`` for this one restart.
+    Eager mode runs all three ARIES passes; on-demand mode stops after
+    analysis, registers the surviving dirty-page table and loser set
+    with a :class:`repro.engine.restart_registry.RestartRegistry`, and
+    returns with the database already open for traffic.
+    """
+    from repro.engine.restart_registry import RestartRegistry
+
     report = RestartReport()
     cfg = db.config
+    report.mode = mode or cfg.restart_mode
     db._crashed = False  # recovery itself may use engine services
 
     if cfg.spf_enabled:
@@ -76,6 +92,18 @@ def run_restart(db) -> RestartReport:  # noqa: ANN001
         dpt, att, page_records, max_txn = _analysis(db, report)
     report.analysis_seconds = watch.elapsed
     report.dirty_pages_at_analysis_end = len(dpt)
+    db.tm.restore_txn_id_floor(max_txn)
+
+    if report.mode == "on_demand":
+        registry = RestartRegistry(db, dpt, page_records, att)
+        registry.install()
+        report.pending_redo_pages = registry.pending_page_count
+        report.pending_undo_txns = registry.pending_loser_count
+        report.loser_txn_ids = sorted(att)
+        db.log.force()
+        db.stats.bump("restarts")
+        db.stats.bump("instant_restarts")
+        return report
 
     with StopWatch(db.clock) as watch:
         _redo(db, dpt, page_records, report)
@@ -85,7 +113,6 @@ def run_restart(db) -> RestartReport:  # noqa: ANN001
         _undo(db, att, report)
     report.undo_seconds = watch.elapsed
 
-    db.tm.restore_txn_id_floor(max_txn)
     db.log.force()
     db.stats.bump("restarts")
     return report
@@ -173,15 +200,72 @@ def _analysis(db, report: RestartReport):  # noqa: ANN001
 
 
 def _insert_pos(records: list[LogRecord], lsn: int) -> int:
-    pos = 0
-    while pos < len(records) and records[pos].lsn < lsn:
-        pos += 1
-    return pos
+    """Insertion point keeping ``records`` sorted by LSN.
+
+    Binary search: the pre-checkpoint backfill may prepend thousands of
+    records per page, and a linear scan made that O(n²).
+    """
+    return bisect.bisect_left(records, lsn, key=lambda record: record.lsn)
 
 
 # ----------------------------------------------------------------------
-# Pass 2: redo
+# Pass 2: redo (per-page primitives shared with instant restart)
 # ----------------------------------------------------------------------
+def redo_page_records(page: Page, records: list[LogRecord]) -> int:
+    """Apply the missing updates from ``records`` to one page.
+
+    The per-page core of the redo pass, also used by the restart
+    registry when a pending page is rolled forward on first fix.
+    Returns the number of records applied; raises
+    :class:`RecoveryError` on a per-page chain mismatch (the defensive
+    check of Section 5.1.4).
+    """
+    applied = 0
+    for record in records:
+        if record.kind == LogRecordKind.FULL_PAGE_IMAGE:
+            as_of = record.page_lsn if record.page_lsn else record.lsn
+            if page.page_lsn < as_of:
+                page.data[:] = decompress_image(record.image or b"")
+                if page.page_lsn != as_of:
+                    page.page_lsn = as_of
+                applied += 1
+            continue
+        if record.op is None:
+            continue
+        if page.page_lsn >= record.lsn:
+            continue  # already reflected on disk
+        # Defensive check (Section 5.1.4): the chain predicts the
+        # PageLSN every redo action must find.  A formatting record is
+        # a chain root — it resets the page regardless of what the old
+        # incarnation on the device holds.
+        if (record.kind != LogRecordKind.FORMAT_PAGE
+                and record.page_prev_lsn != page.page_lsn):
+            raise RecoveryError(
+                f"redo chain mismatch on page {page.page_id}: record "
+                f"{record.lsn} expects PageLSN {record.page_prev_lsn}, "
+                f"page has {page.page_lsn}")
+        record.op.apply_redo(page)
+        page.page_lsn = record.lsn
+        applied += 1
+    return applied
+
+
+def log_pri_repair(db, page: Page) -> bool:  # noqa: ANN001
+    """Figure 12, bottom row: the data page had been written before
+    the crash, but the PRI update was lost.  Generate the missing log
+    record now; applying it to the index can happen lazily, exactly as
+    in normal forward processing."""
+    if not db.config.log_completed_writes:
+        return False
+    db.log.append(LogRecord(LogRecordKind.PRI_UPDATE,
+                            page_id=page.page_id,
+                            page_lsn=page.page_lsn))
+    db.stats.bump("pri_repair_records")
+    if db.config.spf_enabled:
+        db.pri.record_write(page.page_id, page.page_lsn)
+    return True
+
+
 def _redo(db, dpt: dict[int, int], page_records: dict[int, list[LogRecord]],
           report: RestartReport) -> None:  # noqa: ANN001
     for page_id in sorted(dpt):
@@ -191,46 +275,13 @@ def _redo(db, dpt: dict[int, int], page_records: dict[int, list[LogRecord]],
         page = _read_for_redo(db, page_id)
         report.redo_pages_read += 1
         db.stats.bump("redo_page_reads")
-        applied = 0
-        for record in records:
-            if record.kind == LogRecordKind.FULL_PAGE_IMAGE:
-                as_of = record.page_lsn if record.page_lsn else record.lsn
-                if page.page_lsn < as_of:
-                    page.data[:] = decompress_image(record.image or b"")
-                    if page.page_lsn != as_of:
-                        page.page_lsn = as_of
-                    applied += 1
-                continue
-            if record.op is None:
-                continue
-            if page.page_lsn >= record.lsn:
-                continue  # already reflected on disk
-            # Defensive check (Section 5.1.4): the chain predicts the
-            # PageLSN every redo action must find.
-            if record.page_prev_lsn != page.page_lsn:
-                raise RecoveryError(
-                    f"redo chain mismatch on page {page_id}: record "
-                    f"{record.lsn} expects PageLSN {record.page_prev_lsn}, "
-                    f"page has {page.page_lsn}")
-            record.op.apply_redo(page)
-            page.page_lsn = record.lsn
-            applied += 1
+        applied = redo_page_records(page, records)
         report.redo_records_applied += applied
         db.stats.bump("redo_records_applied", applied)
         if applied == 0:
-            # Figure 12, bottom row: the data page had been written
-            # before the crash, but the PRI update was lost.  Generate
-            # the missing log record now; applying it to the index can
-            # happen lazily, exactly as in normal forward processing.
             report.redo_pages_already_current += 1
-            if db.config.log_completed_writes:
-                db.log.append(LogRecord(LogRecordKind.PRI_UPDATE,
-                                        page_id=page_id,
-                                        page_lsn=page.page_lsn))
+            if log_pri_repair(db, page):
                 report.pri_repair_records += 1
-                db.stats.bump("pri_repair_records")
-                if db.config.spf_enabled:
-                    db.pri.record_write(page_id, page.page_lsn)
         else:
             # The page is dirty again; install it in the buffer pool so
             # normal write-back (and PRI maintenance) applies.
@@ -265,19 +316,25 @@ def _read_for_redo(db, page_id: int) -> Page:  # noqa: ANN001
 
 
 # ----------------------------------------------------------------------
-# Pass 3: undo
+# Pass 3: undo (per-loser primitive shared with instant restart)
 # ----------------------------------------------------------------------
+def undo_loser(db, txn_id: int, last_lsn: int,  # noqa: ANN001
+               is_system: bool) -> None:
+    """Roll back one loser transaction and log its ABORT record."""
+    txn = Transaction(txn_id, is_system=is_system)
+    txn.last_lsn = last_lsn
+    db.tm.rollback_work(txn, db)
+    db.log.append(LogRecord(LogRecordKind.ABORT, txn_id=txn_id,
+                            prev_lsn=txn.last_lsn))
+    db.stats.bump("restart_undo_txns")
+
+
 def _undo(db, att: dict[int, tuple[int, bool]], report: RestartReport) -> None:  # noqa: ANN001
     losers = sorted(att.items(), key=lambda item: -item[1][0])
     for txn_id, (last_lsn, is_system) in losers:
-        txn = Transaction(txn_id, is_system=is_system)
-        txn.last_lsn = last_lsn
-        db.tm.rollback_work(txn, db)
-        db.log.append(LogRecord(LogRecordKind.ABORT, txn_id=txn_id,
-                                prev_lsn=txn.last_lsn))
+        undo_loser(db, txn_id, last_lsn, is_system)
         report.undo_transactions += 1
         report.loser_txn_ids.append(txn_id)
-        db.stats.bump("restart_undo_txns")
 
 
 # ----------------------------------------------------------------------

@@ -29,29 +29,40 @@ class LockManager:
         self._holders: dict[bytes, int] = {}
         self._held_by_txn: dict[int, set[bytes]] = {}
         self._waits_for: dict[int, int] = {}
+        #: instant restart: called with a conflicting holder's txn id;
+        #: returns True if the holder was a pending loser transaction
+        #: that has now been rolled back (the requester retries)
+        self.conflict_resolver = None  # Callable[[int], bool] | None
 
     def acquire(self, txn_id: int, key: bytes) -> None:
         """Acquire ``key`` exclusively for ``txn_id``.
 
-        Re-acquisition by the holder is a no-op.  A conflict registers
-        a wait-for edge; if that edge closes a cycle the requester is
-        chosen as the deadlock victim (:class:`DeadlockError`),
-        otherwise a :class:`LockConflict` is raised for the caller to
-        retry (this simulation has no blocking threads to park).
+        Re-acquisition by the holder is a no-op.  A conflict held by a
+        pending loser of an on-demand restart triggers that loser's
+        rollback via ``conflict_resolver`` and the request retries.
+        Otherwise the conflict registers a wait-for edge; if that edge
+        closes a cycle the requester is chosen as the deadlock victim
+        (:class:`DeadlockError`), otherwise a :class:`LockConflict` is
+        raised for the caller to retry (this simulation has no blocking
+        threads to park).
         """
-        holder = self._holders.get(key)
-        if holder is None:
-            self._holders[key] = txn_id
-            self._held_by_txn.setdefault(txn_id, set()).add(key)
-            return
-        if holder == txn_id:
-            return
-        self._waits_for[txn_id] = holder
-        if self._has_cycle(txn_id):
+        while True:
+            holder = self._holders.get(key)
+            if holder is None:
+                self._holders[key] = txn_id
+                self._held_by_txn.setdefault(txn_id, set()).add(key)
+                return
+            if holder == txn_id:
+                return
+            if (self.conflict_resolver is not None
+                    and self.conflict_resolver(holder)):
+                continue  # the loser in the way is gone; retry
+            self._waits_for[txn_id] = holder
+            if self._has_cycle(txn_id):
+                del self._waits_for[txn_id]
+                raise DeadlockError(txn_id, f"deadlock on key {key!r}")
             del self._waits_for[txn_id]
-            raise DeadlockError(txn_id, f"deadlock on key {key!r}")
-        del self._waits_for[txn_id]
-        raise LockConflict(txn_id, key, holder)
+            raise LockConflict(txn_id, key, holder)
 
     def _has_cycle(self, start: int) -> bool:
         seen = set()

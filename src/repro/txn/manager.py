@@ -213,6 +213,29 @@ class TransactionManager:
         return lsn
 
     # ------------------------------------------------------------------
+    # Chain inspection (loser registration for instant restart)
+    # ------------------------------------------------------------------
+    def chain_summary(self, last_lsn: int) -> tuple[set[bytes], int]:
+        """Walk a transaction's log chain backwards from ``last_lsn``.
+
+        Returns the set of keys its update records touched (from their
+        logical-undo payloads — the keys the transaction must have
+        locked) and the LSN of its first record.  Used by on-demand
+        restart to re-acquire a loser's locks and to bound log
+        truncation while its rollback is pending.
+        """
+        keys: set[bytes] = set()
+        first_lsn = last_lsn
+        lsn = last_lsn
+        while lsn != NULL_LSN:
+            record = self.log.record_at(lsn)
+            first_lsn = record.lsn
+            if record.undo is not None:
+                keys.add(record.undo.key)
+            lsn = record.prev_lsn
+        return keys, first_lsn
+
+    # ------------------------------------------------------------------
     # Rollback
     # ------------------------------------------------------------------
     def rollback_work(self, txn: Transaction, ctx: UndoContext,

@@ -19,7 +19,13 @@ from hypothesis import strategies as st
 
 from repro.btree.verify import verify_tree
 from repro.engine.database import Database
-from tests.conftest import fast_config, key_of, value_of
+from tests.conftest import (
+    assert_identical_recovery,
+    clone_crashed,
+    fast_config,
+    key_of,
+    value_of,
+)
 
 
 def fresh_db(**overrides) -> Database:
@@ -106,6 +112,69 @@ class TestCrashRecoveryFuzz:
         tree = db.tree(1)
         assert dict(tree.range_scan()) == committed
         assert verify_tree(tree).ok
+
+
+class TestRestartModeDifferential:
+    """Eager vs. on-demand restart as a differential oracle: the same
+    crash image recovered both ways must yield byte-identical pages
+    and an identical committed history, for *any* workload shape."""
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(data=st.data())
+    def test_same_crash_image_recovers_identically(self, data):
+        db = fresh_db()
+        tree = db.create_index()
+        model: dict[bytes, bytes] = {}
+        withheld: set[bytes] = set()  # keys owned by in-flight losers
+        n_batches = data.draw(st.integers(1, 5), label="batches")
+        for batch in range(n_batches):
+            ops = data.draw(st.lists(st.tuples(
+                st.integers(0, 150), st.binary(min_size=1, max_size=12)),
+                min_size=1, max_size=20), label=f"ops{batch}")
+            fate = data.draw(st.sampled_from(["commit", "abort", "in-flight"]),
+                             label=f"fate{batch}")
+            txn = db.begin()
+            staged: dict[bytes, bytes] = {}
+            for i, payload in ops:
+                key = key_of(i)
+                if key in withheld:
+                    continue  # owned by an earlier in-flight loser
+                if key in model or key in staged:
+                    tree.update(txn, key, payload)
+                else:
+                    tree.insert(txn, key, payload)
+                staged[key] = payload
+            if fate == "commit":
+                db.commit(txn)
+                model.update(staged)
+            elif fate == "abort":
+                db.abort(txn)
+            else:
+                # In-flight losers stay active; a later commit's force
+                # may or may not harden their records before the crash.
+                withheld.update(staged)
+            if data.draw(st.booleans(), label=f"flush{batch}"):
+                db.flush_everything()
+            if data.draw(st.booleans(), label=f"ckpt{batch}"):
+                db.checkpoint()
+        db.crash()
+
+        eager_db = clone_crashed(db)
+        lazy_db = clone_crashed(db)
+        eager_report = eager_db.restart(mode="eager")
+        lazy_report = lazy_db.restart(mode="on_demand")
+        lazy_db.finish_restart()
+        assert not lazy_db.restart_pending
+
+        # Identical committed history: the same losers were undone...
+        assert sorted(eager_report.loser_txn_ids) == sorted(
+            lazy_report.loser_txn_ids)
+        # ...and both recoveries agree with the model and each other.
+        assert dict(eager_db.tree(1).range_scan()) == model
+        assert_identical_recovery(eager_db, lazy_db)
+        assert verify_tree(lazy_db.tree(1)).ok
 
 
 class TestFaultCampaign:
