@@ -1,0 +1,95 @@
+"""Compare a fresh BENCH snapshot against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json CANDIDATE.json
+
+Fails (exit 1) if any *tracked* metric regresses more than the
+tolerance (25% by default, ``BENCH_REGRESSION_TOLERANCE`` to
+override).  Tracked metrics are the deterministic simulated-cost
+quantities — log reads per recovery, simulated time-to-first-
+transaction, log forces — not wall-clock throughput, which varies
+with CI hardware and is reported informationally only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+#: (json path, direction) — "lower" means higher-than-baseline values
+#: are a regression.  Paths index dicts by key and lists by position.
+TRACKED: list[tuple[tuple, str]] = [
+    (("recovery_ios_vs_log_volume", "points", -1, "log_pages_read"), "lower"),
+    (("recovery_ios_vs_log_volume", "points", -1, "total_random_ios"), "lower"),
+    (("group_commit", "batched", "log_forces"), "lower"),
+    (("instant_restart_ttft", "points", 0, "on_demand", "ttft_seconds"), "lower"),
+    (("instant_restart_ttft", "points", -1, "on_demand", "ttft_seconds"), "lower"),
+    (("instant_restore_ttft", "points", 0, "on_demand", "ttft_seconds"), "lower"),
+    (("instant_restore_ttft", "points", -1, "on_demand", "ttft_seconds"), "lower"),
+]
+
+
+def lookup(snapshot: dict, path: tuple):
+    node = snapshot
+    for step in path:
+        if isinstance(step, int):
+            node = node[step]
+        else:
+            node = node.get(step) if isinstance(node, dict) else None
+        if node is None:
+            return None
+    return node
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as fh:
+        baseline = json.load(fh)
+    with open(sys.argv[2]) as fh:
+        candidate = json.load(fh)
+    tolerance = float(os.environ.get("BENCH_REGRESSION_TOLERANCE", "0.25"))
+
+    failures = []
+    for path, direction in TRACKED:
+        name = ".".join(str(p) for p in path)
+        base = lookup(baseline, path)
+        cand = lookup(candidate, path)
+        if base is None:
+            # Metric new in this candidate: nothing to regress against.
+            print(f"  (new) {name} = {cand}")
+            continue
+        if cand is None:
+            failures.append(f"{name}: present in baseline, missing now")
+            continue
+        if direction == "lower":
+            limit = base * (1 + tolerance)
+            regressed = cand > limit and cand - base > 1e-9
+        else:
+            limit = base * (1 - tolerance)
+            regressed = cand < limit
+        marker = "REGRESSED" if regressed else "ok"
+        print(f"  [{marker}] {name}: baseline={base} candidate={cand} "
+              f"(limit {limit:.4g})")
+        if regressed:
+            failures.append(
+                f"{name}: {base} -> {cand} (> {tolerance:.0%} worse)")
+
+    if candidate.get("probe_failures"):
+        failures.extend(
+            f"probe failure: {f}" for f in candidate["probe_failures"])
+
+    if failures:
+        print("\nBenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nBenchmark regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,10 +10,17 @@ writes a ``BENCH_<tag>.json`` snapshot next to the repo root:
 * **group-commit effect**: forces needed for a burst of small
   transactions, batched vs. unbatched;
 * **instant restart**: time-to-first-transaction after a crash, eager
-  vs. on-demand, as the dirty-page count grows 10x.
+  vs. on-demand, as the dirty-page count grows 10x;
+* **instant restore**: time-to-first-transaction after a media
+  failure, eager vs. on-demand, as the device grows 10x — plus a
+  byte-identical differential oracle across the two modes.
 
-CI runs this after the test suites so every build leaves a comparable
-perf artifact.  Usage::
+Every probe carries explicit pass criteria; the process exits
+non-zero if any probe fails, so the CI benchmarks job cannot pass
+vacuously.  All RNGs are seeded deterministically up front.  CI runs
+this after the test suites so every build leaves a comparable perf
+artifact (``benchmarks/check_regression.py`` diffs it against the
+committed snapshot).  Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py [output-dir]
 """
@@ -22,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import sys
 import time
 
@@ -111,6 +119,20 @@ def bench_group_commit(n_txns: int = 200) -> dict:
     return out
 
 
+def seed_everything(seed: int = 0) -> None:
+    """Deterministic runs: the engine's fault injectors already carry
+    explicit seeds; this pins the remaining ambient RNGs.  (Hash
+    randomization is fixed at interpreter startup and cannot be pinned
+    here — no probe depends on dict/set iteration order.)"""
+    random.seed(seed)
+    try:
+        import numpy
+
+        numpy.random.seed(seed)
+    except ImportError:
+        pass
+
+
 def bench_instant_restart() -> dict:
     """Time-to-first-transaction after a crash, both restart modes."""
     from benchmarks.test_ext_instant_restart import (
@@ -140,7 +162,80 @@ def bench_instant_restart() -> dict:
     }
 
 
-def main() -> None:
+def bench_instant_restore() -> dict:
+    """Time-to-first-transaction after a media failure, both restore
+    modes, plus the eager-vs-on-demand differential oracle."""
+    from benchmarks.test_ext_instant_restore import (
+        failed_db,
+        restore_both_modes,
+        time_to_first_transaction,
+    )
+    from tests.conftest import assert_identical_recovery
+
+    points = []
+    for n_keys in (1200, 24000):
+        row: dict = {"keys": n_keys}
+        for mode in ("eager", "on_demand"):
+            db, backup_id = failed_db(n_keys)
+            seconds, report = time_to_first_transaction(db, backup_id, mode)
+            row[mode] = {
+                "ttft_seconds": round(seconds, 4),
+                "pages_restored": report.pages_restored,
+                "pending_restore_pages": report.pending_restore_pages,
+            }
+        points.append(row)
+    small, large = points
+
+    eager_db, lazy_db = restore_both_modes(1200)
+    try:
+        assert_identical_recovery(eager_db, lazy_db)
+        byte_identical = True
+    except AssertionError:
+        byte_identical = False
+
+    return {
+        "points": points,
+        "eager_grows": (large["eager"]["ttft_seconds"]
+                        >= 5 * small["eager"]["ttft_seconds"]),
+        "on_demand_flat": (large["on_demand"]["ttft_seconds"]
+                           <= 2 * small["on_demand"]["ttft_seconds"]),
+        "modes_byte_identical": byte_identical,
+    }
+
+
+#: probe name -> (section key, list of boolean pass-criterion keys)
+PROBE_CRITERIA = {
+    "recovery_ios_vs_log_volume": ["reads_flat"],
+    "instant_restart_ttft": ["eager_grows", "on_demand_flat"],
+    "instant_restore_ttft": ["eager_grows", "on_demand_flat",
+                             "modes_byte_identical"],
+}
+
+
+def check_snapshot(snapshot: dict) -> list[str]:
+    """Evaluate every probe's pass criteria; returns failure strings."""
+    failures = []
+    for section, criteria in PROBE_CRITERIA.items():
+        data = snapshot.get(section)
+        if data is None:
+            failures.append(f"{section}: probe missing from snapshot")
+            continue
+        for key in criteria:
+            if not data.get(key):
+                failures.append(f"{section}.{key} is falsy")
+    group = snapshot.get("group_commit", {})
+    batched = group.get("batched", {}).get("log_forces")
+    unbatched = group.get("unbatched", {}).get("log_forces")
+    if not (batched and unbatched and batched < unbatched):
+        failures.append("group_commit: batched does not beat unbatched")
+    append = snapshot.get("log_append_throughput", {})
+    if not append.get("records_per_second", 0) > 0:
+        failures.append("log_append_throughput: no throughput recorded")
+    return failures
+
+
+def main() -> int:
+    seed_everything(0)
     out_dir = sys.argv[1] if len(sys.argv) > 1 else _ROOT
     snapshot = {
         "generated_unix": int(time.time()),
@@ -149,14 +244,23 @@ def main() -> None:
         "log_append_throughput": bench_append_throughput(),
         "group_commit": bench_group_commit(),
         "instant_restart_ttft": bench_instant_restart(),
+        "instant_restore_ttft": bench_instant_restore(),
     }
+    failures = check_snapshot(snapshot)
+    snapshot["probe_failures"] = failures
     path = os.path.join(out_dir, "BENCH_segmented_wal.json")
     with open(path, "w") as fh:
         json.dump(snapshot, fh, indent=2)
         fh.write("\n")
     print(f"wrote {path}")
     print(json.dumps(snapshot, indent=2))
+    if failures:
+        print("PROBE FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

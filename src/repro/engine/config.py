@@ -64,6 +64,18 @@ class EngineConfig:
     #: undone on lock conflict or by a background drain
     restart_mode: str = "eager"
 
+    #: restore strategy after a media failure:
+    #: ``"eager"`` restores the whole replacement device from the
+    #: backup and replays the log tail before the database reopens
+    #: (the classic Section-5.1.3 procedure); ``"on_demand"`` registers
+    #: the failed device's pages with a :class:`repro.engine.
+    #: restore_registry.RestoreRegistry` and reopens immediately — each
+    #: page is restored on first fix from its backup image plus its
+    #: per-page chain, cold pages are restored by a budgeted background
+    #: drain, and a completion watermark gates checkpointing, log
+    #: truncation, and backup retirement
+    restore_mode: str = "eager"
+
     #: encoded-byte budget of one in-memory log segment (the unit of
     #: indexed log lookup and truncation)
     log_segment_bytes: int = DEFAULT_SEGMENT_BYTES
@@ -90,6 +102,10 @@ class EngineConfig:
             raise ValueError(
                 f"restart_mode must be 'eager' or 'on_demand', "
                 f"got {self.restart_mode!r}")
+        if self.restore_mode not in ("eager", "on_demand"):
+            raise ValueError(
+                f"restore_mode must be 'eager' or 'on_demand', "
+                f"got {self.restore_mode!r}")
         if self.capacity_pages < self.data_start + 8:
             raise ValueError("capacity too small for metadata + PRI region")
 

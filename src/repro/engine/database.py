@@ -109,6 +109,14 @@ class Database:
         self.restart_registry = None
         #: completion watermark of the most recent on-demand restart
         self.last_restart_completion_lsn: int | None = None
+        #: pending-work registry of an on-demand media restore (None =
+        #: no restore in progress); see repro.engine.restore_registry
+        self.restore_registry = None
+        #: completion watermark of the most recent on-demand restore
+        self.last_restore_completion_lsn: int | None = None
+        #: backup a not-yet-complete restore depends on (survives a
+        #: crash so the interrupted restore can be re-run)
+        self._pending_restore_backup_id: int | None = None
 
         self._crashed = False
         self._media_failed = False
@@ -344,6 +352,14 @@ class Database:
             # volatile state; the next analysis rediscovers it from the
             # durable log.
             self.restart_registry.abandon()
+        if self.restore_registry is not None:
+            # A crash interrupts an on-demand restore: the replacement
+            # device is only partially rebuilt, so the media failure is
+            # effectively back — recover_media() must be re-run (from
+            # the same backup; already-restored pages replay as no-ops).
+            if not self.restore_registry.complete:
+                self._media_failed = True
+            self.restore_registry.abandon()
         self.log.crash()
         self.pool.drop_all()
         self.catalog.invalidate_volatile()
@@ -408,13 +424,46 @@ class Database:
         self.stats.bump("txns_killed_by_media_failure", len(victims))
         return len(victims)
 
-    def recover_media(self, backup_id: int):  # noqa: ANN201
-        """Traditional media recovery (Section 5.1.3)."""
+    def recover_media(self, backup_id: int,
+                      mode: str | None = None):  # noqa: ANN201
+        """Media recovery (Section 5.1.3), eager or on demand.
+
+        ``mode`` overrides ``config.restore_mode`` for this recovery:
+        ``"eager"`` restores the whole device before returning;
+        ``"on_demand"`` reopens immediately with the remaining work
+        registered (see :attr:`restore_registry`,
+        :meth:`drain_restore`, :meth:`finish_restore`).
+        """
         from repro.engine.media_recovery import run_media_recovery
 
-        report = run_media_recovery(self, backup_id)
-        self._media_failed = False
-        return report
+        return run_media_recovery(self, backup_id, mode)
+
+    @property
+    def restore_pending(self) -> bool:
+        """Is on-demand restore work still unresolved?"""
+        return (self.restore_registry is not None
+                and not self.restore_registry.complete)
+
+    def drain_restore(self, page_budget: int | None = None,
+                      loser_budget: int | None = None) -> tuple[int, int]:
+        """Background drain of pending restore work (bounded by the
+        budgets); returns ``(pages_restored, losers_resolved)``."""
+        if self.restore_registry is None:
+            return 0, 0
+        return self.restore_registry.drain(page_budget, loser_budget)
+
+    def finish_restore(self) -> tuple[int, int]:
+        """Restore every pending page and undo every pending loser
+        (the completion watermark is recorded once the last item
+        resolves)."""
+        if self.restore_registry is None:
+            return 0, 0
+        return self.restore_registry.drain_all()
+
+    def retire_backups(self) -> list[int]:
+        """Retire superseded full backups (gated on the restore
+        completion watermark and live recovery-index references)."""
+        return self.checkpointer.retire_full_backups()
 
     def _require_running(self) -> None:
         if self._crashed:

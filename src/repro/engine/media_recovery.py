@@ -1,4 +1,4 @@
-"""Traditional media recovery (Section 5.1.3).
+"""Media recovery (Section 5.1.3), eager or on demand.
 
 "Whereas system recovery scans the recovery log forward from the last
 checkpoint and ensures 'redo' of all logged updates, media recovery
@@ -7,10 +7,29 @@ updates for the failed media only.  Due to the effort of restoring a
 backup copy, active transactions touching the failed media are
 aborted."
 
-The restore writes every backup page onto a *replacement device*; the
-replay then applies the entire log tail since the backup.  This is the
-expensive path whose duration Section 6 contrasts with single-page
-recovery — the benchmarks measure both on the same simulated clock.
+Both restore modes run the same procedure over the same per-page
+primitives (shared with restart recovery via
+:func:`repro.engine.system_recovery.redo_page_records` and
+:func:`~repro.engine.system_recovery.undo_loser`):
+
+1. **analysis** — one indexed sequential scan of the log tail since
+   the backup collects each page's record list and the loser set;
+2. **registration** — a replacement device is installed and every page
+   of the failed device (backup pages plus pages formatted since) is
+   registered with a :class:`repro.engine.restore_registry.
+   RestoreRegistry`, loser locks re-acquired;
+3. **restore** — ``"eager"`` prefetches the backup with one sequential
+   read and drains everything before returning (the traditional
+   offline restore, now expressed as "drain before open");
+   ``"on_demand"`` returns immediately with the database open: pages
+   restore on first fix, cold pages by background drain, losers on
+   lock conflict or drain.
+
+The expense asymmetry this preserves is the paper's Section-6 point:
+eager restore grows with device size, while on-demand restore's
+time-to-first-transaction is the analysis scan plus the handful of
+pages the first transaction touches
+(``benchmarks/test_ext_instant_restore.py``).
 """
 
 from __future__ import annotations
@@ -18,129 +37,166 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import RecoveryError
-from repro.page.page import Page
 from repro.sim.clock import StopWatch
 from repro.storage.device import StorageDevice
 from repro.storage.faults import FaultInjector
-from repro.txn.transaction import Transaction
-from repro.wal.records import BackupRef, LogRecord, LogRecordKind, decompress_image
+from repro.wal.records import LogRecord, LogRecordKind
 
 
 @dataclass
 class MediaRecoveryReport:
     """Cost breakdown of one media recovery."""
 
+    mode: str = "eager"
     pages_restored: int = 0
     bytes_restored: int = 0
     records_replayed: int = 0
     transactions_rolled_back: int = 0
+    analysis_seconds: float = 0.0
     restore_seconds: float = 0.0
     replay_seconds: float = 0.0
     loser_txn_ids: list[int] = field(default_factory=list)
+    #: on-demand mode: work registered for lazy completion instead of
+    #: being done before the database reopened
+    pending_restore_pages: int = 0
+    pending_undo_txns: int = 0
 
     @property
     def total_seconds(self) -> float:
-        return self.restore_seconds + self.replay_seconds
+        return self.analysis_seconds + self.restore_seconds + self.replay_seconds
 
 
-def run_media_recovery(db, backup_id: int) -> MediaRecoveryReport:  # noqa: ANN001
-    """Replace the device and rebuild it from backup + log."""
+def collect_replay_targets(db, backup_id: int, backup_lsn: int):  # noqa: ANN001
+    """Media-recovery analysis: one scan of the tail since the backup.
+
+    Returns ``(att, page_records)``: ``att`` maps each loser
+    transaction — uncommitted at the failure, including any losers an
+    interrupted on-demand restart still owed — to ``(last_lsn,
+    is_system)``, and ``page_records`` holds each page's record list
+    in log order (the fallback replay source when a per-page chain
+    does not connect).
+
+    The loser set is *seeded* from the active-transaction table of the
+    checkpoint the backup was taken under: a transaction whose records
+    all precede the backup never appears in the tail scan, yet its
+    uncommitted updates sit inside the backup images (the checkpoint
+    flushed them) and must be rolled back.  Its commit/abort, had one
+    happened, would be in the tail — nothing can finish between the
+    backup's own checkpoint and the backup record — so the scan's
+    pops keep the seed exact.
+    """
+    from repro.engine.system_recovery import note_txn_record
+
+    att: dict[int, tuple[int, bool]] = {}
+    checkpoint_lsn = db.backup_store.full_backup_checkpoint_lsn(backup_id)
+    if checkpoint_lsn is not None and db.log.has_record(checkpoint_lsn):
+        master = db.log.record_at(checkpoint_lsn)
+        if (master.kind == LogRecordKind.CHECKPOINT_END
+                and master.checkpoint is not None):
+            for txn_id, last_lsn, is_system in master.checkpoint.active_txns:
+                att[txn_id] = (last_lsn, is_system)
+    page_records: dict[int, list[LogRecord]] = {}
+    for record in db.log_reader.scan_from(backup_lsn):
+        note_txn_record(att, record)
+        if record.is_page_update and record.page_id >= 0:
+            page_records.setdefault(record.page_id, []).append(record)
+    return att, page_records
+
+
+def run_media_recovery(db, backup_id: int,  # noqa: ANN001
+                       mode: str | None = None) -> MediaRecoveryReport:
+    """Replace the device and rebuild it from backup + log.
+
+    ``mode`` overrides ``config.restore_mode`` for this one recovery:
+    ``"eager"`` restores everything before returning; ``"on_demand"``
+    registers the work with a :class:`~repro.engine.restore_registry.
+    RestoreRegistry` and returns with the database already open (see
+    :attr:`Database.restore_registry`, :meth:`Database.drain_restore`,
+    :meth:`Database.finish_restore`).
+    """
+    from repro.engine.restore_registry import RestoreRegistry
+
     report = MediaRecoveryReport()
     cfg = db.config
+    report.mode = mode or cfg.restore_mode
+    if report.mode not in ("eager", "on_demand"):
+        raise ValueError(f"restore mode must be 'eager' or 'on_demand', "
+                         f"got {report.mode!r}")
 
     # Find the backup's position via the log's backup-record index —
     # an O(1) lookup, not a scan of the whole log.
     backup_lsn = db.log.backup_full_lsn(backup_id)
     if backup_lsn is None:
         raise RecoveryError(f"no log record for full backup {backup_id}")
+    if not db.backup_store.has_full_backup(backup_id):
+        raise RecoveryError(f"full backup {backup_id} is not retained")
+
+    # Recovery itself may use engine services, and a restore may re-run
+    # after a crash interrupted a previous on-demand restore.
+    db._crashed = False
+    # Pending instant-restart or interrupted-restore work is subsumed:
+    # chain replay from the backup covers every deferred redo, and the
+    # analysis scan below rediscovers every deferred loser.
+    if db.restart_registry is not None:
+        db.restart_registry.abandon()
+    if db.restore_registry is not None:
+        db.restore_registry.abandon()
 
     # ------------------------------------------------------------------
-    # Restore: install a replacement device and copy the backup onto it.
+    # Analysis: the log tail since the backup, one indexed scan.
     # ------------------------------------------------------------------
     with StopWatch(db.clock) as watch:
-        replacement = StorageDevice(
-            f"{db.device.name}'", cfg.page_size, cfg.capacity_pages,
-            db.clock, cfg.device_profile, db.stats,
-            FaultInjector(seed=cfg.seed + 1),
-            proof_read=cfg.proof_read_writes)
-        images = db.backup_store.restore_full_backup(backup_id)
-        pages: dict[int, Page] = {}
-        for page_id, image in sorted(images.items()):
-            pages[page_id] = Page(cfg.page_size, image)
-            replacement.write(page_id, image, sequential=True)
-            report.pages_restored += 1
-            report.bytes_restored += len(image)
-    report.restore_seconds = watch.elapsed
+        att, page_records = collect_replay_targets(db, backup_id, backup_lsn)
+        backup_page_lsns = db.backup_store.full_backup_lsns(backup_id)
+    report.analysis_seconds = watch.elapsed
 
     # ------------------------------------------------------------------
-    # Replay: the whole log tail since the backup, pages of this device.
+    # Registration: replacement device + restore registry.
     # ------------------------------------------------------------------
-    with StopWatch(db.clock) as watch:
-        att: dict[int, int] = {}
-        for record in db.log_reader.scan_from(backup_lsn):
-            if record.txn_id:
-                if record.kind in (LogRecordKind.COMMIT, LogRecordKind.SYS_COMMIT,
-                                   LogRecordKind.ABORT, LogRecordKind.TXN_END):
-                    att.pop(record.txn_id, None)
-                else:
-                    att[record.txn_id] = record.lsn
-            if not record.is_page_update or record.page_id < 0:
-                continue
-            page = pages.get(record.page_id)
-            if record.kind == LogRecordKind.FORMAT_PAGE:
-                page = Page.format(cfg.page_size, record.page_id)
-                pages[record.page_id] = page
-            if page is None:
-                # Updated page missing from the backup: it must have
-                # been formatted after the backup; the format record
-                # creates it above.  Anything else is a broken backup.
-                raise RecoveryError(
-                    f"page {record.page_id} not in backup {backup_id} and "
-                    f"no formatting record seen before LSN {record.lsn}")
-            if record.kind == LogRecordKind.FULL_PAGE_IMAGE:
-                as_of = record.page_lsn if record.page_lsn else record.lsn
-                if page.page_lsn < as_of:
-                    page.data[:] = decompress_image(record.image or b"")
-                    if page.page_lsn != as_of:
-                        page.page_lsn = as_of
-                    report.records_replayed += 1
-                continue
-            if record.op is None or page.page_lsn >= record.lsn:
-                continue
-            record.op.apply_redo(page)
-            page.page_lsn = record.lsn
-            report.records_replayed += 1
-        for page_id, page in sorted(pages.items()):
-            page.seal()
-            replacement.write(page_id, page.data, sequential=True)
-    report.replay_seconds = watch.elapsed
-
-    # ------------------------------------------------------------------
-    # Swap in the replacement and rebuild the volatile stack.
-    # ------------------------------------------------------------------
+    replacement = StorageDevice(
+        f"{db.device.name}'", cfg.page_size, cfg.capacity_pages,
+        db.clock, cfg.device_profile, db.stats,
+        FaultInjector(seed=cfg.seed + 1),
+        proof_read=cfg.proof_read_writes)
     db.device = replacement
     db.catalog.invalidate_volatile()
     db._build_recovery_stack()
     db.pool = db._build_pool(replacement)
-    if cfg.spf_enabled:
-        db.pri.set_range_backup(0, max(pages) + 1,
-                                BackupRef.full_backup(backup_id),
-                                backup_lsn, db.clock.now)
-        for page_id, page in pages.items():
-            db.pri.record_write(page_id, page.page_lsn)
+
+    registry = RestoreRegistry(db, backup_id, backup_lsn,
+                               set(backup_page_lsns), page_records, att)
+    registry.install()
+    report.pending_restore_pages = registry.pending_page_count
+    report.pending_undo_txns = registry.pending_loser_count
+    report.loser_txn_ids = sorted(att)
+    db._pending_restore_backup_id = backup_id
+    db.stats.bump("media_recoveries")
+
+    if report.mode == "on_demand":
+        # Open for traffic: every page is reachable (restored on fix).
+        db._media_failed = False
+        db.stats.bump("instant_restores")
+        db.log.force()
+        return report
 
     # ------------------------------------------------------------------
-    # Roll back transactions that never committed (they were aborted by
-    # the media failure, but their replayed updates must be undone).
+    # Eager restore: drain everything before opening — one sequential
+    # backup read, then the same per-page primitive on-demand uses.
+    # The database stays closed (_media_failed) until the drain
+    # succeeds; a restore that dies mid-drain must keep refusing
+    # traffic on the half-restored device.
     # ------------------------------------------------------------------
-    for txn_id, last_lsn in sorted(att.items(), key=lambda kv: -kv[1]):
-        txn = Transaction(txn_id)
-        txn.last_lsn = last_lsn
-        db.tm.rollback_work(txn, db)
-        db.log.append(LogRecord(LogRecordKind.ABORT, txn_id=txn_id,
-                                prev_lsn=txn.last_lsn))
-        report.transactions_rolled_back += 1
-        report.loser_txn_ids.append(txn_id)
-    db.log.force()
-    db.stats.bump("media_recoveries")
+    with StopWatch(db.clock) as watch:
+        registry.prefetch_images()
+    report.restore_seconds = watch.elapsed
+    with StopWatch(db.clock) as watch:
+        registry.drain_all()
+    report.replay_seconds = watch.elapsed
+    db._media_failed = False
+    report.pages_restored = registry.pages_restored
+    report.bytes_restored = registry.bytes_restored
+    report.records_replayed = registry.records_replayed
+    report.transactions_rolled_back = len(registry.undone_losers)
+    report.pending_restore_pages = 0
+    report.pending_undo_txns = 0
     return report

@@ -1,0 +1,345 @@
+"""The pending-work registry behind instant (on-demand) media restore.
+
+Traditional media recovery (Section 5.1.3) blocks the database while
+an entire replacement device is rebuilt from backup.  The paper's
+per-page primitives make that unnecessary: every page of the failed
+device is independently restorable — backup image plus per-page chain
+replay — so restore can be an *online* event, exactly like on-demand
+restart (:mod:`repro.engine.restart_registry`, which this module
+mirrors):
+
+* **pending pages** — every page the failed device held: the pages in
+  the full backup plus pages formatted since it was taken.  A pending
+  page is restored on its first fix through the buffer pool's fetcher
+  hook: its backup image is materialized (page copy, full backup,
+  in-log image, or formatting record — the four sources of
+  ``core/backup.py``), the missing updates are replayed from its
+  per-page chain through the segmented WAL's indexed lookup, and the
+  result is written to the replacement device.  Cold pages are
+  restored by a budgeted background :meth:`drain`;
+* **pending losers** — transactions the media failure aborted.  Their
+  key locks are re-acquired from the per-transaction chains, so
+  conflicting user transactions trigger rollback of exactly the loser
+  in their way; the drain resolves the rest (newest-first, the same
+  order as eager restore).
+
+Eager restore is the degenerate case: prefetch the backup with one
+sequential read, then drain everything before the database reopens —
+both modes run the same per-page primitive, which is what makes them
+byte-identical (the differential oracle of ``tests/test_media_matrix``).
+
+A **completion watermark** gates checkpointing, log truncation, and
+backup retirement: while work is pending, :meth:`retention_bound` pins
+the log at the backup's position (chain replay needs the tail from
+there) and :meth:`repro.engine.checkpointer.Checkpointer.
+retire_full_backups` refuses to retire the backup being restored from;
+once the last item resolves the registry detaches its hooks and
+records the watermark LSN.
+"""
+
+from __future__ import annotations
+
+from repro.engine.restart_registry import PendingLoser
+from repro.engine.system_recovery import redo_page_records, undo_loser
+from repro.errors import LogError, RecoveryError
+from repro.page.page import Page
+from repro.wal.lsn import NULL_LSN
+from repro.wal.records import BackupRef, LogRecord, LogRecordKind
+
+
+class RestoreRegistry:
+    """Tracks and resolves the per-page restore and per-loser undo
+    work an on-demand media recovery deferred past the moment the
+    database reopened."""
+
+    def __init__(self, db, backup_id: int, backup_lsn: int,  # noqa: ANN001
+                 backup_pages: set[int],
+                 page_records: dict[int, list[LogRecord]],
+                 att: dict[int, tuple[int, bool]]) -> None:
+        self.db = db
+        self.backup_id = backup_id
+        self.backup_lsn = backup_lsn
+        #: pages with an image in the full backup
+        self.backup_pages = set(backup_pages)
+        #: every page awaiting restore -> its analysis record list (the
+        #: log-order fallback when the per-page chain does not connect)
+        self.pending_pages: dict[int, list[LogRecord]] = {
+            page_id: page_records.get(page_id, [])
+            for page_id in self.backup_pages | set(page_records)}
+        self.pending_losers: dict[int, PendingLoser] = {}
+        for txn_id, (last_lsn, is_system) in att.items():
+            keys, first_lsn = db.tm.chain_summary(last_lsn)
+            self.pending_losers[txn_id] = PendingLoser(
+                txn_id, last_lsn, is_system,
+                first_lsn=first_lsn, keys=keys)
+        self.completed_at_lsn: int | None = None
+        #: eager prefetch: backup images pulled with one sequential read
+        self._image_cache: dict[int, bytes] = {}
+        self._image_lsns: dict[int, int] = {}
+        # Telemetry mirrored into MediaRecoveryReport.
+        self.pages_restored = 0
+        self.bytes_restored = 0
+        self.records_replayed = 0
+        self.undone_losers: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Installation / detachment
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Hook the registry into the buffer pool and lock manager."""
+        db = self.db
+        db.restore_registry = self
+        self._orig_fetcher = db.pool.fetcher
+        db.pool.fetcher = self._fetch
+        db.locks.conflict_resolver = self.resolve_loser_conflict
+        # The media failure aborted the losers; whatever lock state
+        # they left behind is replaced by locks re-acquired from their
+        # per-transaction chains, so new transactions conflict with
+        # (and then resolve) exactly the losers whose keys they touch.
+        for loser in self.pending_losers.values():
+            db.tm.active.pop(loser.txn_id, None)
+            db.locks.release_all(loser.txn_id)
+        for loser in self.pending_losers.values():
+            for key in loser.keys:
+                db.locks.acquire(loser.txn_id, key)
+        if db.config.spf_enabled and self.pending_pages:
+            # The full backup covers the whole restored range; pages
+            # formatted after the backup fall back to their formatting
+            # records (Section 5.2.1's fourth source).
+            db.pri.set_range_backup(
+                0, max(self.pending_pages) + 1,
+                BackupRef.full_backup(self.backup_id),
+                self.backup_lsn, db.clock.now)
+            for page_id, records in self.pending_pages.items():
+                if page_id in self.backup_pages or not records:
+                    continue
+                first = records[0]
+                if first.kind == LogRecordKind.FORMAT_PAGE:
+                    db.pri.set_backup(page_id,
+                                      BackupRef.format_record(first.lsn),
+                                      first.lsn, db.clock.now)
+        db.stats.bump("restore_pending_pages", len(self.pending_pages))
+        db.stats.bump("restore_pending_losers", len(self.pending_losers))
+        self._maybe_finish()
+
+    def abandon(self) -> None:
+        """Drop all pending work without resolving it (a new failure:
+        the next recovery's analysis rediscovers everything from the
+        durable log and the retained backup)."""
+        self.pending_pages.clear()
+        self.pending_losers.clear()
+        self._image_cache.clear()
+        self._detach()
+
+    def _detach(self) -> None:
+        db = self.db
+        if db.pool.fetcher == self._fetch:
+            db.pool.fetcher = self._orig_fetcher
+        if db.locks.conflict_resolver == self.resolve_loser_conflict:
+            db.locks.conflict_resolver = None
+        if db.restore_registry is self:
+            db.restore_registry = None
+
+    def _fetch(self, page_id: int) -> Page:
+        """Fetcher wrapper: the first fix of a pending page *is* its
+        restore; everything else takes the normal Figure-8 path."""
+        if page_id in self.pending_pages:
+            return self.restore_page(page_id)
+        return self._orig_fetcher(page_id)
+
+    def _maybe_finish(self) -> None:
+        if self.pending_pages or self.pending_losers:
+            return
+        if self.completed_at_lsn is None:
+            # The completion watermark: the replacement device is fully
+            # caught up and every loser is undone; checkpointing, log
+            # truncation, and backup retirement may proceed normally.
+            self.completed_at_lsn = self.db.log.end_lsn
+            self.db.last_restore_completion_lsn = self.completed_at_lsn
+            self.db._pending_restore_backup_id = None
+            self.db.stats.bump("instant_restore_completions")
+            self.db.log.force()
+        self._image_cache.clear()
+        self._detach()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_page_count(self) -> int:
+        return len(self.pending_pages)
+
+    @property
+    def pending_loser_count(self) -> int:
+        return len(self.pending_losers)
+
+    @property
+    def complete(self) -> bool:
+        return not self.pending_pages and not self.pending_losers
+
+    def retention_bound(self) -> int | None:
+        """Oldest LSN pending restore work may still need, or ``None``
+        when nothing is pending (the truncation gate).  Chain replay
+        walks each pending page back to the backup, so pending pages
+        pin the log at the backup's own record."""
+        bound: int | None = None
+        if self.pending_pages:
+            bound = self.backup_lsn
+        for loser in self.pending_losers.values():
+            lsn = (loser.first_lsn if loser.first_lsn != NULL_LSN
+                   else loser.last_lsn)
+            bound = lsn if bound is None else min(bound, lsn)
+        return bound
+
+    # ------------------------------------------------------------------
+    # Per-page restore (the shared primitive of both modes)
+    # ------------------------------------------------------------------
+    def prefetch_images(self) -> None:
+        """Pull the whole backup with one sequential read (eager mode:
+        the classic restore arithmetic; on-demand pays a random read
+        per page instead, which is exactly its trade)."""
+        db = self.db
+        if not self.backup_pages:
+            return
+        self._image_cache = db.backup_store.restore_full_backup(
+            self.backup_id)
+        self._image_lsns = db.backup_store.full_backup_lsns(self.backup_id)
+
+    def _backup_image(self, page_id: int) -> tuple[Page, int]:
+        """Materialize the best backup image for one pending page."""
+        db = self.db
+        page_size = db.config.page_size
+        cached = self._image_cache.get(page_id)
+        if cached is not None:
+            return Page(page_size, cached), self._image_lsns[page_id]
+        if page_id in self.backup_pages:
+            image, lsn = db.backup_store.fetch_from_full_backup(
+                self.backup_id, page_id)
+            return Page(page_size, image), lsn
+        records = self.pending_pages.get(page_id) or []
+        if records and records[0].kind == LogRecordKind.FORMAT_PAGE:
+            # Formatted after the backup: the formatting record is the
+            # backup (source four); replay starts from a fresh page.
+            return Page.format(page_size, page_id), NULL_LSN
+        raise RecoveryError(
+            f"page {page_id} is not in full backup {self.backup_id} and "
+            f"has no formatting record since LSN {self.backup_lsn}")
+
+    def restore_page(self, page_id: int, sequential: bool = False,
+                     use_chain: bool = True) -> Page:
+        """Restore one page of the failed device: backup image plus
+        per-page replay, written to the replacement device.
+
+        On the fix path (``use_chain``) the missing updates come from
+        the page's chain via the segmented WAL's indexed lookup — the
+        Figure-10 mechanism — falling back to the analysis pass's
+        log-order record list if the chain is broken.  The drain
+        passes ``use_chain=False``: the analysis scan already paid for
+        (and holds) every record list, so a bulk restore replays from
+        memory instead of re-reading chains as random log I/O.  Chain
+        order and log order coincide per page, and both paths go
+        through :func:`repro.engine.system_recovery.redo_page_records`
+        — the primitive eager restart redo uses — so the result is
+        byte-identical either way.
+        """
+        db = self.db
+        records = self.pending_pages.get(page_id)
+        if records is None:
+            raise RecoveryError(f"page {page_id} is not pending restore")
+        page, base_lsn = self._backup_image(page_id)
+        applied: int | None = None
+        if use_chain:
+            try:
+                start_lsn = db.log_reader.chain_start_lsn(page_id, None)
+                chain = db.log_reader.walk_page_chain(start_lsn, base_lsn,
+                                                      page_id=page_id)
+                applied = redo_page_records(page, chain)
+            except (RecoveryError, LogError):
+                # Chain broken or disconnected: restart from a fresh
+                # backup image and replay the analysis list instead.
+                db.stats.bump("restore_chain_fallbacks")
+                page, base_lsn = self._backup_image(page_id)
+        if applied is None:
+            applied = redo_page_records(
+                page, [r for r in records if r.lsn > base_lsn])
+        page.seal()
+        db.device.write(page_id, page.data, sequential=sequential)
+        if db.config.spf_enabled:
+            db.pri.record_write(page_id, page.page_lsn)
+        del self.pending_pages[page_id]
+        self._image_cache.pop(page_id, None)
+        self.pages_restored += 1
+        self.bytes_restored += len(page.data)
+        self.records_replayed += applied
+        db.stats.bump("restore_pages")
+        db.stats.bump("restore_records", applied)
+        self._maybe_finish()
+        return page
+
+    def discard_page(self, page_id: int) -> None:
+        """A pending page was reformatted by fresh allocation before
+        its first read: the formatting supersedes its restore."""
+        if self.pending_pages.pop(page_id, None) is not None:
+            self._image_cache.pop(page_id, None)
+            self.db.stats.bump("restore_superseded")
+            self._maybe_finish()
+
+    # ------------------------------------------------------------------
+    # Lazy undo (the lock manager's conflict_resolver hook)
+    # ------------------------------------------------------------------
+    def resolve_loser_conflict(self, holder_txn_id: int) -> bool:
+        """A lock request hit ``holder_txn_id``: if it is a pending
+        loser, roll it back now and let the requester retry."""
+        if holder_txn_id not in self.pending_losers:
+            return False
+        self.db.stats.bump("restore_undo_on_conflict")
+        return self.undo_pending_loser(holder_txn_id)
+
+    def undo_pending_loser(self, txn_id: int) -> bool:
+        loser = self.pending_losers.get(txn_id)
+        if loser is None:
+            return False
+        db = self.db
+        # Rollback fixes pages through the pool, so any page the loser
+        # touched is restored on the way (the fetcher hook above); the
+        # loser stays pending until its rollback completes.
+        undo_loser(db, txn_id, loser.last_lsn, loser.is_system)
+        del self.pending_losers[txn_id]
+        db.locks.release_all(txn_id)
+        db.stats.bump("restore_undo_txns")
+        self.undone_losers.append(txn_id)
+        self._maybe_finish()
+        return True
+
+    # ------------------------------------------------------------------
+    # Background drain
+    # ------------------------------------------------------------------
+    def drain(self, page_budget: int | None = None,
+              loser_budget: int | None = None) -> tuple[int, int]:
+        """Resolve pending work in the eager pass's order (pages by
+        ascending id — a sequential sweep of the replacement device —
+        then losers newest-first), up to the budgets.  Returns
+        ``(pages_restored, losers_resolved)``."""
+        db = self.db
+        pages_done = 0
+        for page_id in sorted(self.pending_pages):
+            if page_budget is not None and pages_done >= page_budget:
+                break
+            self.restore_page(page_id, sequential=True, use_chain=False)
+            pages_done += 1
+        losers_done = 0
+        order = sorted(self.pending_losers.values(),
+                       key=lambda loser: -loser.last_lsn)
+        for loser in order:
+            if loser_budget is not None and losers_done >= loser_budget:
+                break
+            if self.undo_pending_loser(loser.txn_id):
+                losers_done += 1
+        db.stats.bump("restore_drain_pages", pages_done)
+        db.stats.bump("restore_drain_losers", losers_done)
+        return pages_done, losers_done
+
+    def drain_all(self) -> tuple[int, int]:
+        """Resolve everything (used as the checkpoint gate and as the
+        whole of eager restore)."""
+        return self.drain()

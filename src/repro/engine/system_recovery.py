@@ -80,6 +80,19 @@ def run_restart(db, mode: str | None = None) -> RestartReport:  # noqa: ANN001
     """
     from repro.engine.restart_registry import RestartRegistry
 
+    if db._media_failed:
+        # A crash interrupted an on-demand restore (or hit an already
+        # media-failed node): the device is not a trustworthy redo
+        # substrate, and media recovery from the retained backup
+        # subsumes restart anyway — it replays the whole durable tail
+        # and undoes every unfinished transaction.
+        from repro.errors import MediaFailure
+
+        raise MediaFailure(
+            db.device.name,
+            "device not restored; run recover_media() first (a restore "
+            "interrupted by a crash re-runs from the same backup)")
+
     report = RestartReport()
     cfg = db.config
     report.mode = mode or cfg.restart_mode
@@ -121,6 +134,29 @@ def run_restart(db, mode: str | None = None) -> RestartReport:  # noqa: ANN001
 # ----------------------------------------------------------------------
 # Pass 1: log analysis
 # ----------------------------------------------------------------------
+#: record kinds that end a transaction (it is no longer a loser)
+TERMINAL_TXN_KINDS = (LogRecordKind.COMMIT, LogRecordKind.SYS_COMMIT,
+                      LogRecordKind.ABORT, LogRecordKind.TXN_END)
+
+
+def note_txn_record(att: dict[int, tuple[int, bool]],
+                    record: LogRecord) -> None:
+    """Apply one record's effect to an active-transaction table
+    (txn_id -> (last_lsn, is_system)).
+
+    The single definition of loser tracking, shared by restart
+    analysis and media-recovery analysis — the two recoveries must
+    never disagree on what counts as an unfinished transaction.
+    """
+    if not record.txn_id:
+        return
+    if record.kind in TERMINAL_TXN_KINDS:
+        att.pop(record.txn_id, None)
+    else:
+        prior = att.get(record.txn_id)
+        att[record.txn_id] = (record.lsn, prior[1] if prior else False)
+
+
 def _analysis(db, report: RestartReport):  # noqa: ANN001
     cfg = db.config
     start_lsn = db.log.master_checkpoint_lsn or LOG_START
@@ -144,12 +180,7 @@ def _analysis(db, report: RestartReport):  # noqa: ANN001
             continue
         if record.txn_id:
             max_txn = max(max_txn, record.txn_id)
-            if kind in (LogRecordKind.COMMIT, LogRecordKind.SYS_COMMIT,
-                        LogRecordKind.ABORT, LogRecordKind.TXN_END):
-                att.pop(record.txn_id, None)
-            else:
-                prior = att.get(record.txn_id)
-                att[record.txn_id] = (record.lsn, prior[1] if prior else False)
+        note_txn_record(att, record)
         page_id = record.page_id
         if record.is_page_update and page_id >= 0:
             if (kind == LogRecordKind.FULL_PAGE_IMAGE
@@ -214,8 +245,10 @@ def _insert_pos(records: list[LogRecord], lsn: int) -> int:
 def redo_page_records(page: Page, records: list[LogRecord]) -> int:
     """Apply the missing updates from ``records`` to one page.
 
-    The per-page core of the redo pass, also used by the restart
-    registry when a pending page is rolled forward on first fix.
+    The per-page core of the redo pass, shared by the restart registry
+    (a pending page rolled forward on first fix) and the restore
+    registry (a pending page rebuilt from its backup image — chain
+    order or analysis order, same primitive).
     Returns the number of records applied; raises
     :class:`RecoveryError` on a per-page chain mismatch (the defensive
     check of Section 5.1.4).
@@ -316,7 +349,8 @@ def _read_for_redo(db, page_id: int) -> Page:  # noqa: ANN001
 
 
 # ----------------------------------------------------------------------
-# Pass 3: undo (per-loser primitive shared with instant restart)
+# Pass 3: undo (per-loser primitive shared with instant restart and
+# with media restore — both registries lazily undo through this)
 # ----------------------------------------------------------------------
 def undo_loser(db, txn_id: int, last_lsn: int,  # noqa: ANN001
                is_system: bool) -> None:

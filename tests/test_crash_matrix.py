@@ -1,13 +1,18 @@
 """Crash matrix: injected crashes at every interesting protocol point.
 
-Each crash point loses a different suffix of a multi-step protocol —
-checkpointing, PRI persistence, the write-back sequence of Figure 11,
-log-segment sealing — and every (crash point × restart mode) cell must
-converge to exactly the committed state.  A differential oracle then
-recovers one crash image under both modes and requires byte-identical
-pages and an identical log tail: instant restart must be
-indistinguishable from classic ARIES restart once its pending work has
-drained.
+Each protocol point leaves a different suffix of a multi-step protocol
+unfinished — checkpointing, PRI persistence, the write-back sequence
+of Figure 11, log-segment sealing — and every (point × restart mode)
+cell must converge to exactly the committed state.  A differential
+oracle then recovers one crash image under both modes and requires
+byte-identical pages and an identical log tail: instant restart must
+be indistinguishable from classic ARIES restart once its pending work
+has drained.
+
+The protocol points are shared with ``tests/test_media_matrix.py``,
+which injects a *media* failure (and the double-failure combinations)
+at the same points: :data:`PROTOCOL_POINTS` maps each point to its
+steps only, with the failure finale supplied by the caller.
 """
 
 from __future__ import annotations
@@ -30,8 +35,15 @@ from tests.conftest import (
 LOSER_KEYS = (5, 11, 17)
 
 
-def prepared(**overrides) -> tuple[Database, object, dict[bytes, bytes]]:
-    """Committed base + checkpoint + committed wave + durable loser."""
+def prepared(with_backup: bool = False,
+             **overrides) -> tuple[Database, object, dict[bytes, bytes]]:
+    """Committed base + checkpoint + committed wave + durable loser.
+
+    With ``with_backup`` the checkpoint is a full backup (which itself
+    checkpoints), so the same protocol state is reachable by media
+    recovery; the backup id is then ``db.backup_store.
+    full_backup_ids()[-1]``.
+    """
     db = Database(fast_config(capacity_pages=1024, buffer_capacity=48,
                               **overrides))
     tree = db.create_index()
@@ -42,7 +54,10 @@ def prepared(**overrides) -> tuple[Database, object, dict[bytes, bytes]]:
         model[key_of(i)] = value_of(i, 0)
     db.commit(txn)
     db.flush_everything()
-    db.checkpoint()
+    if with_backup:
+        db.take_full_backup()
+    else:
+        db.checkpoint()
     txn = db.begin()
     for i in range(0, 60, 2):
         tree.update(txn, key_of(i), value_of(i, 1))
@@ -61,68 +76,64 @@ def prepared(**overrides) -> tuple[Database, object, dict[bytes, bytes]]:
 
 
 # ----------------------------------------------------------------------
-# Crash injectors: each loses a different protocol suffix
+# Protocol points: each leaves a different protocol suffix unfinished.
+# The failure itself (crash or media) is the caller's finale.
 # ----------------------------------------------------------------------
-def crash_post_commit(db: Database, tree) -> None:
-    """Baseline: crash with the write-back protocol fully quiescent."""
-    db.crash()
+def point_post_commit(db: Database, tree) -> None:
+    """Baseline: the write-back protocol is fully quiescent."""
 
 
-def crash_mid_checkpoint(db: Database, tree) -> None:
-    """CHECKPOINT_BEGIN logged and half the dirty snapshot flushed,
-    then crash: no CHECKPOINT_END, restart starts at the old master."""
+def point_mid_checkpoint(db: Database, tree) -> None:
+    """CHECKPOINT_BEGIN logged and half the dirty snapshot flushed:
+    no CHECKPOINT_END, restart starts at the old master."""
     db.log.append(LogRecord(LogRecordKind.CHECKPOINT_BEGIN))
     dirty = sorted(db.pool.dirty_page_table())
     for page_id in dirty[:max(1, len(dirty) // 2)]:
         db.pool.flush_page(page_id)
-    db.crash()
 
 
-def crash_mid_pri_persist(db: Database, tree) -> None:
+def point_mid_pri_persist(db: Database, tree) -> None:
     """The checkpoint's flush phase completed and the PRI region was
-    rewritten on the device, but the crash eats the (unforced) image
-    records and the CHECKPOINT_END: restart must load the *old*
-    checkpoint's PRI images and repair the now-mismatching region
-    pages (single-page recovery applied to the PRI itself)."""
+    rewritten on the device, but the (unforced) image records and the
+    CHECKPOINT_END are still in the log buffer: a crash must load the
+    *old* checkpoint's PRI images and repair the now-mismatching
+    region pages (single-page recovery applied to the PRI itself)."""
     for page_id in sorted(db.pool.dirty_page_table()):
         db.pool.flush_page(page_id)
     db.checkpointer.persist_pri()
     assert db.log.durable_lsn < db.log.end_lsn
-    db.crash()
 
 
-def crash_between_force_and_pri(db: Database, tree) -> None:
+def point_between_force_and_pri(db: Database, tree) -> None:
     """Figure 12, bottom row: the group-commit force hardened the
     update, the data page was written back, but the PRI-update record
-    is still in the log buffer when the crash hits."""
+    is still in the log buffer."""
     page, _node = tree._descend(key_of(0), for_write=False)
     victim = page.page_id
     db.unfix(victim)
     db.pool.flush_page(victim)  # device write + unforced PRI_UPDATE
     assert db.log.durable_lsn < db.log.end_lsn
-    db.crash()
 
 
-def crash_mid_segment_seal(db: Database, tree) -> None:
-    """An unforced log tail spanning a freshly opened segment: the
-    crash unwinds the tail across the segment boundary (chain heads
-    must retreat correctly through the unsealed segment)."""
+def point_mid_segment_seal(db: Database, tree) -> None:
+    """An unforced log tail spanning a freshly opened segment: a crash
+    unwinds the tail across the segment boundary (chain heads must
+    retreat correctly through the unsealed segment)."""
     segments_before = db.log.segment_count
     bulk = db.begin()
     for i in range(60, 130):
         tree.update(bulk, key_of(i), b"UNFORCED-%d" % i)
     assert db.log.segment_count > segments_before
     assert db.log.durable_lsn < db.log.end_lsn
-    db.crash()
 
 
-#: crash point name -> (engine-config overrides, injector)
-CRASH_POINTS = {
-    "post-commit": ({}, crash_post_commit),
-    "mid-checkpoint": ({}, crash_mid_checkpoint),
-    "mid-pri-persist": ({}, crash_mid_pri_persist),
-    "between-force-and-pri": ({}, crash_between_force_and_pri),
-    "mid-segment-seal": ({"log_segment_bytes": 2048}, crash_mid_segment_seal),
+#: point name -> (engine-config overrides, protocol steps)
+PROTOCOL_POINTS = {
+    "post-commit": ({}, point_post_commit),
+    "mid-checkpoint": ({}, point_mid_checkpoint),
+    "mid-pri-persist": ({}, point_mid_pri_persist),
+    "between-force-and-pri": ({}, point_between_force_and_pri),
+    "mid-segment-seal": ({"log_segment_bytes": 2048}, point_mid_segment_seal),
 }
 
 
@@ -130,12 +141,13 @@ CRASH_POINTS = {
 # The matrix
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("mode", ["eager", "on_demand"])
-@pytest.mark.parametrize("point", sorted(CRASH_POINTS))
+@pytest.mark.parametrize("point", sorted(PROTOCOL_POINTS))
 class TestCrashMatrix:
     def test_converges_to_committed_state(self, point, mode):
-        overrides, injector = CRASH_POINTS[point]
+        overrides, steps = PROTOCOL_POINTS[point]
         db, tree, model = prepared(**overrides)
-        injector(db, tree)
+        steps(db, tree)
+        db.crash()
         db.restart(mode=mode)
         tree = db.tree(1)
         # Committed keys are readable immediately in both modes (lazy
@@ -151,9 +163,10 @@ class TestCrashMatrix:
 
     def test_survives_repeated_crash_at_same_point(self, point, mode):
         """Crash again immediately after recovering: idempotent."""
-        overrides, injector = CRASH_POINTS[point]
+        overrides, steps = PROTOCOL_POINTS[point]
         db, tree, model = prepared(**overrides)
-        injector(db, tree)
+        steps(db, tree)
+        db.crash()
         db.restart(mode=mode)
         db.crash()
         db.restart(mode=mode)
@@ -164,13 +177,14 @@ class TestCrashMatrix:
         assert verify_tree(tree).ok
 
 
-@pytest.mark.parametrize("point", sorted(CRASH_POINTS))
+@pytest.mark.parametrize("point", sorted(PROTOCOL_POINTS))
 def test_modes_recover_identically(point):
     """The differential oracle: one crash image, two recoveries —
     byte-identical pages, identical log, identical committed state."""
-    overrides, injector = CRASH_POINTS[point]
+    overrides, steps = PROTOCOL_POINTS[point]
     db, tree, _model = prepared(**overrides)
-    injector(db, tree)
+    steps(db, tree)
+    db.crash()
     eager_db = clone_crashed(db)
     lazy_db = clone_crashed(db)
     eager_db.restart(mode="eager")

@@ -11,6 +11,7 @@ Property-based end-to-end checks of the reproduction's core promises:
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -27,6 +28,10 @@ from tests.conftest import (
     value_of,
 )
 
+#: the nightly deep-torture CI job multiplies every hypothesis example
+#: budget (TORTURE_EXAMPLES_MULTIPLIER=10); PR runs use the base budget
+EXAMPLES = max(1, int(os.environ.get("TORTURE_EXAMPLES_MULTIPLIER", "1")))
+
 
 def fresh_db(**overrides) -> Database:
     return Database(fast_config(capacity_pages=2048, buffer_capacity=48,
@@ -34,7 +39,7 @@ def fresh_db(**overrides) -> Database:
 
 
 class TestCrashRecoveryFuzz:
-    @settings(max_examples=12, deadline=None,
+    @settings(max_examples=12 * EXAMPLES, deadline=None,
               suppress_health_check=[HealthCheck.too_slow,
                                      HealthCheck.data_too_large])
     @given(data=st.data())
@@ -80,7 +85,7 @@ class TestCrashRecoveryFuzz:
         assert dict(tree.range_scan()) == model
         assert verify_tree(tree).ok
 
-    @settings(max_examples=8, deadline=None,
+    @settings(max_examples=8 * EXAMPLES, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
     @given(seed=st.integers(0, 10_000))
     def test_double_crash_during_recovery_window(self, seed):
@@ -119,7 +124,7 @@ class TestRestartModeDifferential:
     crash image recovered both ways must yield byte-identical pages
     and an identical committed history, for *any* workload shape."""
 
-    @settings(max_examples=10, deadline=None,
+    @settings(max_examples=10 * EXAMPLES, deadline=None,
               suppress_health_check=[HealthCheck.too_slow,
                                      HealthCheck.data_too_large])
     @given(data=st.data())
@@ -276,4 +281,77 @@ class TestFaultCampaign:
             db.restart()
             tree = db.tree(1)
         assert dict(tree.range_scan()) == committed
+        assert verify_tree(tree).ok
+
+
+@pytest.mark.slow
+class TestDeepFailureGauntlet:
+    """Nightly deep torture: random interleavings of *both* failure
+    classes — crashes (either restart mode) and media failures (either
+    restore mode), with budgeted drains and live traffic between them.
+    Excluded from PR CI via the ``slow`` marker; the nightly job also
+    multiplies the example budget tenfold."""
+
+    @settings(max_examples=6 * EXAMPLES, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(data=st.data())
+    def test_any_failure_sequence_converges(self, data):
+        from repro.errors import MediaFailure
+
+        db = fresh_db()
+        tree = db.create_index()
+        model: dict[bytes, bytes] = {}
+        txn = db.begin()
+        for i in range(120):
+            tree.insert(txn, key_of(i), value_of(i, 0))
+            model[key_of(i)] = value_of(i, 0)
+        db.commit(txn)
+        backup_id = db.take_full_backup()
+
+        n_rounds = data.draw(st.integers(1, 4), label="rounds")
+        for round_no in range(n_rounds):
+            # Committed traffic between failures (rides the lazy fix
+            # paths of whichever registry is currently pending).
+            ops = data.draw(st.lists(st.integers(0, 160),
+                                     min_size=1, max_size=12),
+                            label=f"ops{round_no}")
+            txn = db.begin()
+            for i in ops:
+                key = key_of(i)
+                value = b"r%d-%d" % (round_no, i)
+                if key in model:
+                    tree.update(txn, key, value)
+                else:
+                    tree.insert(txn, key, value)
+                model[key] = value
+            db.commit(txn)
+            if data.draw(st.booleans(), label=f"drain{round_no}"):
+                db.drain_restart(page_budget=8, loser_budget=1)
+                db.drain_restore(page_budget=8, loser_budget=1)
+            if data.draw(st.booleans(), label=f"ckpt{round_no}"):
+                db.checkpoint()
+
+            kind = data.draw(st.sampled_from(["crash", "media"]),
+                             label=f"failure{round_no}")
+            mode = data.draw(st.sampled_from(["eager", "on_demand"]),
+                             label=f"mode{round_no}")
+            if kind == "crash":
+                db.crash()
+                if db._media_failed:
+                    # The crash interrupted a pending restore: restart
+                    # refuses, the restore re-runs from the backup.
+                    db.recover_media(backup_id, mode=mode)
+                else:
+                    db.restart(mode=mode)
+            else:
+                db.device.fail_device("torture")
+                db._on_media_failure(
+                    MediaFailure(db.device.name, "torture"))
+                db.recover_media(backup_id, mode=mode)
+            tree = db.tree(1)
+
+        db.finish_restart()
+        db.finish_restore()
+        assert dict(tree.range_scan()) == model
         assert verify_tree(tree).ok
