@@ -13,7 +13,11 @@ writes a ``BENCH_<tag>.json`` snapshot next to the repo root:
   vs. on-demand, as the dirty-page count grows 10x;
 * **instant restore**: time-to-first-transaction after a media
   failure, eager vs. on-demand, as the device grows 10x — plus a
-  byte-identical differential oracle across the two modes.
+  byte-identical differential oracle across the two modes;
+* **chaos scenario coverage**: a fixed-seed chaos campaign
+  (``repro/sim/harness.py``) must cover all five failure-event kinds
+  and all four restart x restore mode combinations with the
+  durability oracle clean.
 
 Every probe carries explicit pass criteria; the process exits
 non-zero if any probe fails, so the CI benchmarks job cannot pass
@@ -203,12 +207,29 @@ def bench_instant_restore() -> dict:
     }
 
 
+def bench_chaos_coverage(n_schedules: int = 8) -> dict:
+    """Scenario-coverage probe: a fixed-seed chaos campaign must cover
+    all five failure-event kinds and all four restart x restore mode
+    combinations, with the durability oracle clean throughout (see
+    ``repro/sim/harness.py``)."""
+    from repro.sim.harness import run_campaign
+
+    campaign = run_campaign(n_schedules, base_seed=7000, n_events=35,
+                            differential=True, shrink=False)
+    summary = campaign.summary()
+    summary["all_passed"] = campaign.ok
+    summary["failing_seeds"] = [f.config.seed for f in campaign.failures]
+    return summary
+
+
 #: probe name -> (section key, list of boolean pass-criterion keys)
 PROBE_CRITERIA = {
     "recovery_ios_vs_log_volume": ["reads_flat"],
     "instant_restart_ttft": ["eager_grows", "on_demand_flat"],
     "instant_restore_ttft": ["eager_grows", "on_demand_flat",
                              "modes_byte_identical"],
+    "chaos_scenario_coverage": ["all_passed", "all_failure_kinds_covered",
+                                "all_mode_combos_run"],
 }
 
 
@@ -245,6 +266,7 @@ def main() -> int:
         "group_commit": bench_group_commit(),
         "instant_restart_ttft": bench_instant_restart(),
         "instant_restore_ttft": bench_instant_restore(),
+        "chaos_scenario_coverage": bench_chaos_coverage(),
     }
     failures = check_snapshot(snapshot)
     snapshot["probe_failures"] = failures

@@ -20,7 +20,7 @@ import struct
 
 from repro.core.backup import BackupPolicy, make_log_image_payload
 from repro.core.recovery_index import PageRecoveryIndex, PartitionedRecoveryIndex
-from repro.errors import ConfigError, StorageError
+from repro.errors import ConfigError, ReproError, StorageError
 from repro.page.page import Page, PageType
 from repro.wal.records import BackupRef, CheckpointData, LogRecord, LogRecordKind
 
@@ -226,7 +226,17 @@ class Checkpointer:
             db.pool.unfix(page_id)
 
     def take_full_backup(self) -> int:
-        """Full database backup (checkpointed, then copied)."""
+        """Full database backup (checkpointed, verified, then copied).
+
+        Every image is verified before it enters the backup: in-page
+        checks plus the PageLSN cross-check against the page recovery
+        index.  A page that fails — e.g. a write the device silently
+        lost, leaving a stale-but-plausible image — is read through
+        the buffer pool's detect-and-repair fix path instead, so the
+        backup never archives damage.  (Found by the chaos harness:
+        lost write, then backup, then crash — replay from the
+        poisoned backup image hit a chain mismatch.)
+        """
         db = self.db
         checkpoint_lsn = self.checkpoint()
         images: dict[int, bytes] = {}
@@ -236,8 +246,9 @@ class Checkpointer:
             raw = db.device.raw_image(page_id)
             if raw is None:
                 continue
-            images[page_id] = raw
-            page_lsns[page_id] = Page(db.config.page_size, raw).page_lsn
+            image = self._verified_backup_image(page_id, raw)
+            images[page_id] = image
+            page_lsns[page_id] = Page(db.config.page_size, image).page_lsn
         # Sequential read of the copied range.
         db.clock.advance(db.config.device_profile.read_cost(
             len(images) * db.config.page_size, sequential=True))
@@ -250,6 +261,40 @@ class Checkpointer:
                                     BackupRef.full_backup(backup_id),
                                     backup_lsn, db.clock.now)
         return backup_id
+
+    def _verified_backup_image(self, page_id: int, raw: bytes) -> bytes:
+        """Validate a raw device image before archiving it; on any
+        failure, fetch the page through the repair path instead."""
+        db = self.db
+        try:
+            page = Page(db.config.page_size, raw)
+            page.verify(expected_page_id=page_id)
+            stale = False
+            if db.config.spf_enabled and db.config.pri_lsn_check:
+                expected = db.pri.expected_page_lsn(page_id)
+                stale = expected is not None and page.page_lsn < expected
+            if not stale:
+                return raw
+        except ReproError:
+            pass
+        db.stats.bump("backup_images_repaired")
+        page = db.pool.fix(page_id)
+        try:
+            image = bytes(page.data)
+        finally:
+            db.pool.unfix(page_id)
+        # Resync the device: the range-backup reset below (set_range_
+        # backup clears per-page LSN expectations) assumes the device
+        # holds exactly what the backup archived, so a repaired image
+        # must also land on the device — remapping away from a sector
+        # that refuses to take it.
+        for _attempt in range(4):
+            db.device.write(page_id, image)
+            if db.device.raw_image(page_id) == image:
+                return image
+            db.device.remap(page_id, "backup verification resync")
+        raise StorageError(
+            f"page {page_id} unwritable while verifying backup image")
 
     # ------------------------------------------------------------------
     # Backup retirement
@@ -304,12 +349,22 @@ class Checkpointer:
         * rollback needs every active transaction's first record;
         * an unfinished on-demand restart needs every pending page's
           first redo record and every pending loser's first record
-          (the completion watermark, see ``RestartRegistry``).
+          (the completion watermark, see ``RestartRegistry``);
+        * media recovery restores from the newest retained full backup
+          and scans the tail from its BACKUP_FULL record, so that
+          record must stay reachable — truncating past it would make
+          the *next* device loss unrecoverable (found by the chaos
+          harness: checkpoint + truncate + device loss).
         """
         from repro.wal.records import BackupRefKind
 
         db = self.db
         bound = db.log.master_checkpoint_lsn or db.log.end_lsn
+        for backup_id in reversed(db.backup_store.full_backup_ids()):
+            backup_lsn = db.log.backup_full_lsn(backup_id)
+            if backup_lsn is not None:
+                bound = min(bound, backup_lsn)
+                break
         for txn in db.tm.active.values():
             if txn.first_lsn:
                 bound = min(bound, txn.first_lsn)

@@ -118,6 +118,14 @@ class Database:
         #: crash so the interrupted restore can be re-run)
         self._pending_restore_backup_id: int | None = None
 
+        #: observation hooks for failure/recovery tooling (the chaos
+        #: harness): ``crash_hooks`` fire at the end of :meth:`crash`;
+        #: ``recovery_hooks`` fire with ``(kind, report)`` after a
+        #: :meth:`restart` ("restart") or :meth:`recover_media`
+        #: ("media") returns, whatever code path initiated it
+        self.crash_hooks: list = []
+        self.recovery_hooks: list = []
+
         self._crashed = False
         self._media_failed = False
         self._bootstrap()
@@ -373,6 +381,8 @@ class Database:
         self._wire_pool()
         self._crashed = True
         self.stats.bump("system_crashes")
+        for hook in self.crash_hooks:
+            hook(self)
 
     def restart(self, mode: str | None = None):  # noqa: ANN201 - RestartReport
         """ARIES restart with Figure-12 PRI reconciliation.
@@ -387,6 +397,8 @@ class Database:
 
         report = run_restart(self, mode)
         self._crashed = False
+        for hook in self.recovery_hooks:
+            hook(self, "restart", report)
         return report
 
     @property
@@ -436,7 +448,10 @@ class Database:
         """
         from repro.engine.media_recovery import run_media_recovery
 
-        return run_media_recovery(self, backup_id, mode)
+        report = run_media_recovery(self, backup_id, mode)
+        for hook in self.recovery_hooks:
+            hook(self, "media", report)
+        return report
 
     @property
     def restore_pending(self) -> bool:

@@ -335,6 +335,19 @@ def _read_for_redo(db, page_id: int) -> Page:  # noqa: ANN001
         data = db.device.read(page_id)
         page = Page(db.config.page_size, data)
         page.verify(expected_page_id=page_id)
+        if db.config.spf_enabled and db.config.pri_lsn_check:
+            # The same stale-LSN cross-check the normal read path runs
+            # (Figure 8): a lost write leaves a plausible page whose
+            # only tell is a PageLSN older than the recovery index
+            # expects.  Without this, redo would hit the chain-mismatch
+            # guard instead of repairing the page.  (Found by the chaos
+            # harness: lost write, checkpoint, update, crash.)
+            expected = db.pri.expected_page_lsn(page_id)
+            if expected is not None and page.page_lsn < expected:
+                raise SinglePageFailure(
+                    page_id, PageFailureKind.STALE_LSN,
+                    f"PageLSN {page.page_lsn} older than recovery "
+                    f"index's {expected} at restart redo")
         return page
     except (DeviceReadError, SinglePageFailure) as exc:
         if isinstance(exc, SinglePageFailure):

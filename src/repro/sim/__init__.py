@@ -1,9 +1,15 @@
-"""Simulated time, I/O cost models, and counters.
+"""Simulated time, I/O cost models, counters, and chaos simulation.
 
 The reproduction performs all page-level work for real, but charges the
 *cost* of every device and log I/O to a simulated clock.  This is how
 the benchmarks reproduce the paper's Section-6 arithmetic (e.g. a
 100 GB restore at 100 MB/s taking about 1000 s) at laptop scale.
+
+On top of the clock sits the deterministic chaos layer: a discrete-
+event scheduler (:mod:`repro.sim.scheduler`) and the seeded
+any-failure-any-time harness with its durability oracle
+(:mod:`repro.sim.harness`).  The harness is imported lazily (it pulls
+in the whole engine); use ``from repro.sim.harness import ...``.
 """
 
 from repro.sim.clock import SimClock
@@ -13,6 +19,7 @@ from repro.sim.iomodel import (
     HDD_PROFILE,
     IOProfile,
 )
+from repro.sim.scheduler import Event, EventScheduler
 from repro.sim.stats import Stats
 
 __all__ = [
@@ -22,4 +29,6 @@ __all__ = [
     "FLASH_PROFILE",
     "ARCHIVE_PROFILE",
     "Stats",
+    "Event",
+    "EventScheduler",
 ]

@@ -10,12 +10,25 @@ from __future__ import annotations
 
 
 class SimClock:
-    """Monotonic simulated clock measured in seconds."""
+    """Monotonic simulated clock measured in seconds.
+
+    A single *deadline* can be armed on the clock (:meth:`arm`): the
+    first :meth:`advance` that reaches it disarms it and invokes its
+    callback.  Because every modeled device and log I/O advances the
+    clock, an armed callback fires *in the middle* of whatever
+    multi-step engine operation happens to cross the deadline — this is
+    how the chaos harness injects failures at arbitrary protocol
+    points rather than only between operations (the callback typically
+    raises, unwinding the interrupted operation like a process crash
+    would).
+    """
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise ValueError("clock cannot start before time zero")
         self._now = float(start)
+        self._deadline: float | None = None
+        self._on_deadline = None  # Callable[[], None] | None
 
     @property
     def now(self) -> float:
@@ -27,7 +40,31 @@ class SimClock:
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time {seconds}")
         self._now += seconds
+        if self._deadline is not None and self._now >= self._deadline:
+            callback = self._on_deadline
+            self.disarm()
+            callback()
         return self._now
+
+    def arm(self, deadline: float, callback) -> None:  # noqa: ANN001
+        """Arm ``callback`` to fire at the first advance reaching
+        ``deadline``.  Only one deadline may be armed at a time."""
+        if self._on_deadline is not None:
+            raise ValueError("a clock deadline is already armed")
+        if callback is None:
+            raise ValueError("deadline callback must be callable")
+        self._deadline = float(deadline)
+        self._on_deadline = callback
+
+    def disarm(self) -> None:
+        """Cancel the armed deadline, if any."""
+        self._deadline = None
+        self._on_deadline = None
+
+    @property
+    def armed(self) -> bool:
+        """Is a deadline currently armed?"""
+        return self._on_deadline is not None
 
     def elapsed_since(self, mark: float) -> float:
         """Seconds elapsed since a previously recorded ``mark``."""

@@ -12,10 +12,14 @@ from typing import Iterator
 
 
 class Stats:
-    """A named bag of monotonically increasing counters."""
+    """A named bag of monotonically increasing counters, plus
+    high-water-mark gauges (:meth:`note_max`) for quantities that are
+    observed rather than accumulated — e.g. the peak number of pending
+    restore pages during a chaos run."""
 
     def __init__(self) -> None:
         self._counters: Counter[str] = Counter()
+        self._maxima: dict[str, int] = {}
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increase counter ``name`` by ``amount``."""
@@ -26,6 +30,15 @@ class Stats:
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never bumped)."""
         return self._counters[name]
+
+    def note_max(self, name: str, value: int) -> None:
+        """Record ``value`` for gauge ``name`` if it is a new maximum."""
+        if value > self._maxima.get(name, value - 1):
+            self._maxima[name] = value
+
+    def get_max(self, name: str) -> int:
+        """High-water mark of gauge ``name`` (0 if never noted)."""
+        return self._maxima.get(name, 0)
 
     def snapshot(self) -> dict[str, int]:
         """A copy of all counters, for diffing before/after a phase."""
@@ -41,8 +54,9 @@ class Stats:
         return changed
 
     def reset(self) -> None:
-        """Zero out all counters."""
+        """Zero out all counters and gauges."""
         self._counters.clear()
+        self._maxima.clear()
 
     def __iter__(self) -> Iterator[tuple[str, int]]:
         return iter(sorted(self._counters.items()))

@@ -234,6 +234,16 @@ class StorageDevice:
     def wear_out(self, page_id: int) -> None:
         self.injector.wear_out(self.sector_of(page_id))
 
+    def apply_fault(self, kind, page_id: int,  # noqa: ANN001 - FaultKind
+                    victim_page: int | None = None, nbits: int = 3,
+                    count: int = 1) -> None:
+        """Schedulable fault hook: apply ``kind`` to a *logical* page,
+        translating to the current physical sector (and the victim's,
+        for misdirected writes)."""
+        victim = None if victim_page is None else self.sector_of(victim_page)
+        self.injector.apply_fault(kind, self.sector_of(page_id),
+                                  victim=victim, nbits=nbits, count=count)
+
     # ------------------------------------------------------------------
     # Raw access for composite devices and backups (no fault injection)
     # ------------------------------------------------------------------

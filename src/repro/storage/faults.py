@@ -110,6 +110,28 @@ class FaultInjector:
         """Remove all standing faults on ``sector`` (sector remapped)."""
         self._sectors.pop(sector, None)
 
+    def apply_fault(self, kind: FaultKind, sector: int, *,
+                    victim: int | None = None, nbits: int = 3,
+                    count: int = 1) -> None:
+        """Uniform dispatcher from a :class:`FaultKind` to the matching
+        ``inject_*`` method, so schedulers can carry fault events as
+        plain ``(kind, sector)`` data (the chaos harness's schedulable
+        fault hook)."""
+        if kind is FaultKind.READ_ERROR:
+            self.inject_read_error(sector)
+        elif kind is FaultKind.BIT_ROT:
+            self.inject_bit_rot(sector, nbits=nbits)
+        elif kind is FaultKind.LOST_WRITE:
+            self.inject_lost_write(sector, count=count)
+        elif kind is FaultKind.MISDIRECTED_WRITE:
+            if victim is None:
+                raise ValueError("misdirected write needs a victim sector")
+            self.inject_misdirected_write(sector, victim)
+        elif kind is FaultKind.WEAR_OUT:
+            self.wear_out(sector)
+        else:  # pragma: no cover - exhaustive over FaultKind
+            raise ValueError(f"unknown fault kind {kind!r}")
+
     # ------------------------------------------------------------------
     # Device hooks
     # ------------------------------------------------------------------

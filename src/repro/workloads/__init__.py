@@ -1,6 +1,18 @@
-"""Workload generators and the fleet failure model."""
+"""Workload generators, the fleet failure model, and the chaos fleet."""
 
-from repro.workloads.fleet import FleetModel, FleetOutcome
+from repro.workloads.fleet import (
+    ClientAction,
+    ClientFleet,
+    FleetModel,
+    FleetOutcome,
+)
 from repro.workloads.generator import KeyValueWorkload, WorkloadSpec
 
-__all__ = ["KeyValueWorkload", "WorkloadSpec", "FleetModel", "FleetOutcome"]
+__all__ = [
+    "KeyValueWorkload",
+    "WorkloadSpec",
+    "FleetModel",
+    "FleetOutcome",
+    "ClientFleet",
+    "ClientAction",
+]

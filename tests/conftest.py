@@ -7,6 +7,9 @@ realistic profiles.
 
 from __future__ import annotations
 
+import random
+import zlib
+
 import pytest
 
 from repro import Database, EngineConfig
@@ -19,6 +22,15 @@ from repro.storage.faults import FaultInjector
 from repro.wal.log_manager import LogManager
 
 PAGE_SIZE = 4096
+
+
+@pytest.fixture(autouse=True)
+def _seed_ambient_rng(request: pytest.FixtureRequest) -> None:
+    """Seed the global ``random`` module per test, from the test's own
+    node id.  Torture/matrix tests that use ambient randomness are then
+    reproducible in isolation — the seed no longer depends on module
+    import order or on which tests ran earlier in the session."""
+    random.seed(zlib.crc32(request.node.nodeid.encode()))
 
 
 @pytest.fixture

@@ -1,0 +1,357 @@
+"""The chaos simulation layer: scheduler, clock deadlines, schedulable
+faults, per-client fleet streams, the durability oracle, and the
+harness itself (reproducibility, campaigns, shrinking, CLI).
+
+The nightly CI job runs :class:`TestNightlyCampaign` (``slow`` marker)
+with hundreds of random seeds and uploads failing traces as artifacts;
+PR CI runs the fixed-seed smoke below.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.harness import (
+    FAILURE_KINDS,
+    MODE_COMBOS,
+    ChaosConfig,
+    DurabilityOracle,
+    execute_schedule,
+    generate_schedule,
+    main,
+    run_campaign,
+    run_chaos,
+    shrink_schedule,
+)
+from repro.sim.scheduler import Event, EventScheduler
+from repro.sim.stats import Stats
+from repro.storage.faults import FaultInjector, FaultKind
+from repro.workloads.fleet import ClientFleet
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+class TestEventScheduler:
+    def test_orders_by_time_then_insertion(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(2.0, "b")
+        scheduler.schedule(1.0, "a")
+        scheduler.schedule(2.0, "c")  # same time as "b", scheduled later
+        assert [e.kind for e in scheduler.drain()] == ["a", "b", "c"]
+
+    def test_replay_preserves_order(self):
+        scheduler = EventScheduler()
+        for i, kind in enumerate(["x", "y", "z"]):
+            scheduler.schedule(float(i), kind, n=i)
+        events = list(scheduler.drain())
+        replay = EventScheduler()
+        for event in reversed(events):  # insertion order must not matter
+            replay.schedule_event(event)
+        assert [e.kind for e in replay.drain()] == ["x", "y", "z"]
+
+    def test_describe_is_deterministic(self):
+        event = Event(3.0, 7, "corrupt", {"rank": 5, "fault": "bit-rot"})
+        assert event.describe() == "t=3 corrupt fault='bit-rot' rank=5"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventScheduler().pop()
+
+    def test_seq_collision_orders_by_insertion(self):
+        """A replayed event colliding with a live one on (time, seq)
+        must order by insertion, not blow up comparing Events."""
+        scheduler = EventScheduler()
+        live = scheduler.schedule(1.0, "live")  # seq 0
+        scheduler.schedule_event(Event(1.0, live.seq, "replayed"))
+        assert [e.kind for e in scheduler.drain()] == ["live", "replayed"]
+
+
+# ----------------------------------------------------------------------
+# Clock deadlines (mid-operation interruption)
+# ----------------------------------------------------------------------
+class TestClockDeadline:
+    def test_fires_when_advance_crosses_deadline(self):
+        clock = SimClock()
+        fired = []
+        clock.arm(1.0, lambda: fired.append(clock.now))
+        clock.advance(0.5)
+        assert not fired and clock.armed
+        clock.advance(0.6)  # crosses 1.0 mid-advance
+        assert fired == [1.1]
+        assert not clock.armed  # single-shot
+
+    def test_callback_may_raise_through_advance(self):
+        clock = SimClock()
+
+        def boom() -> None:
+            raise RuntimeError("interrupted")
+
+        clock.arm(0.1, boom)
+        with pytest.raises(RuntimeError):
+            clock.advance(1.0)
+        assert not clock.armed
+
+    def test_disarm_cancels(self):
+        clock = SimClock()
+        clock.arm(1.0, lambda: pytest.fail("should not fire"))
+        clock.disarm()
+        clock.advance(5.0)
+
+    def test_double_arm_rejected(self):
+        clock = SimClock()
+        clock.arm(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            clock.arm(2.0, lambda: None)
+
+
+class TestStatsGauges:
+    def test_note_max_keeps_high_water_mark(self):
+        stats = Stats()
+        stats.note_max("g", 3)
+        stats.note_max("g", 1)
+        stats.note_max("g", 9)
+        assert stats.get_max("g") == 9
+        assert stats.get_max("missing") == 0
+        stats.reset()
+        assert stats.get_max("g") == 0
+
+
+# ----------------------------------------------------------------------
+# Schedulable faults
+# ----------------------------------------------------------------------
+class TestApplyFault:
+    def test_dispatches_every_kind(self):
+        injector = FaultInjector(seed=1)
+        injector.apply_fault(FaultKind.READ_ERROR, 1)
+        injector.apply_fault(FaultKind.BIT_ROT, 2, nbits=5)
+        injector.apply_fault(FaultKind.LOST_WRITE, 3, count=2)
+        injector.apply_fault(FaultKind.MISDIRECTED_WRITE, 4, victim=5)
+        injector.apply_fault(FaultKind.WEAR_OUT, 6)
+        kinds = [kind for kind, _sector in injector.injected_log]
+        assert kinds == [FaultKind.READ_ERROR, FaultKind.BIT_ROT,
+                         FaultKind.LOST_WRITE, FaultKind.MISDIRECTED_WRITE,
+                         FaultKind.WEAR_OUT]
+
+    def test_misdirected_requires_victim(self):
+        with pytest.raises(ValueError):
+            FaultInjector(seed=1).apply_fault(FaultKind.MISDIRECTED_WRITE, 4)
+
+    def test_device_translates_logical_pages(self, device):
+        device.remap(3, "test")  # move page 3 off the identity mapping
+        device.apply_fault(FaultKind.READ_ERROR, 3)
+        sector = device.sector_of(3)
+        assert (FaultKind.READ_ERROR, sector) in device.injector.injected_log
+        assert sector != 3
+
+
+# ----------------------------------------------------------------------
+# Fleet streams
+# ----------------------------------------------------------------------
+class TestClientFleet:
+    def test_streams_are_independent_of_interleaving(self):
+        """Client 1's k-th action is identical whether or not other
+        clients acted in between — the property that makes schedule
+        shrinking sound."""
+        solo = ClientFleet(3, seed=9, key_space=50)
+        solo_actions = [solo.next_action(1) for _ in range(5)]
+        mixed = ClientFleet(3, seed=9, key_space=50)
+        mixed_actions = []
+        for i in range(5):
+            mixed.next_action(0)
+            mixed_actions.append(mixed.next_action(1))
+            mixed.next_action(2)
+            mixed.next_action(0)
+        assert solo_actions == mixed_actions
+
+    def test_streams_differ_between_clients(self):
+        fleet = ClientFleet(2, seed=9, key_space=50)
+        assert fleet.next_action(0).ops != fleet.next_action(1).ops
+
+    def test_resumable_cursor(self):
+        fleet = ClientFleet(1, seed=9, key_space=50)
+        first = fleet.next_action(0)
+        assert (first.seq, fleet.actions_emitted(0)) == (0, 1)
+        assert fleet.next_action(0).seq == 1
+
+    def test_some_actions_abort(self):
+        fleet = ClientFleet(1, seed=9, key_space=50, abort_fraction=0.5)
+        fates = {fleet.next_action(0).fate for _ in range(40)}
+        assert fates == {"commit", "abort"}
+
+
+# ----------------------------------------------------------------------
+# The harness
+# ----------------------------------------------------------------------
+class TestScheduleGeneration:
+    def test_same_seed_same_schedule(self):
+        config = ChaosConfig(seed=5)
+        assert generate_schedule(config) == generate_schedule(config)
+
+    def test_different_seeds_differ(self):
+        assert (generate_schedule(ChaosConfig(seed=5))
+                != generate_schedule(ChaosConfig(seed=6)))
+
+    def test_all_failure_kinds_guaranteed(self):
+        kinds = {e.kind for e in generate_schedule(ChaosConfig(seed=1))}
+        assert set(FAILURE_KINDS) <= kinds
+
+
+class TestHarnessReproducibility:
+    def test_trace_bit_identical_across_runs(self):
+        config = ChaosConfig(seed=3, n_events=25, shrink=False)
+        first = run_chaos(config)
+        second = run_chaos(config)
+        assert first.ok, first.violations
+        assert first.trace == second.trace
+        assert first.trace_text() == second.trace_text()
+
+    def test_cli_output_bit_identical(self, capsys):
+        assert main(["--seed", "3", "--events", "25"]) == 0
+        first = capsys.readouterr().out
+        assert main(["--seed", "3", "--events", "25"]) == 0
+        assert capsys.readouterr().out == first
+        assert "RESULT PASS" in first
+
+
+class TestDurabilityOracle:
+    def test_detects_lost_committed_key(self, db):
+        tree = db.create_index()
+        oracle = DurabilityOracle()
+        txn = db.begin()
+        tree.insert(txn, b"k1", b"v1")
+        db.commit(txn)
+        oracle.commit_applied({b"k1": b"v1"})
+        oracle.model[b"k2"] = b"never-written"  # simulate lost commit
+        violations = oracle.full_check(db, "test")
+        assert any("committed keys lost" in v for v in violations)
+
+    def test_detects_phantom_key(self, db):
+        tree = db.create_index()
+        oracle = DurabilityOracle()
+        txn = db.begin()
+        tree.insert(txn, b"k1", b"v1")
+        db.commit(txn)  # never reported to the oracle
+        violations = oracle.full_check(db, "test")
+        assert any("uncommitted keys visible" in v for v in violations)
+
+    def test_uncertain_commit_resolved_from_log(self, db):
+        """A commit whose acknowledgement was lost counts iff its
+        COMMIT record survived in the durable log."""
+        tree = db.create_index()
+        oracle = DurabilityOracle()
+        txn = db.begin()
+        tree.insert(txn, b"ack-lost", b"v")
+        db.commit(txn)
+        oracle.record_uncertain(txn.txn_id, {b"ack-lost": b"v"})
+        oracle.resolve_uncertain(db)
+        assert oracle.model == {b"ack-lost": b"v"}
+        # And a transaction that never committed resolves to nothing.
+        loser = db.begin()
+        tree.insert(loser, b"doomed", b"v")
+        db.abort(loser)
+        oracle.record_uncertain(loser.txn_id, {b"doomed": b"v"})
+        oracle.resolve_uncertain(db)
+        assert b"doomed" not in oracle.model
+        assert not oracle.full_check(db, "test")
+
+
+class TestChaosSmoke:
+    """Fixed-seed smoke campaign: every mode combination, every failure
+    kind, oracle clean.  This is the PR-CI chaos gate."""
+
+    @pytest.mark.parametrize("modes", MODE_COMBOS,
+                             ids=["/".join(m) for m in MODE_COMBOS])
+    def test_schedule_passes_oracle(self, modes):
+        restart_mode, restore_mode = modes
+        config = ChaosConfig(seed=11, n_events=30,
+                             restart_mode=restart_mode,
+                             restore_mode=restore_mode, shrink=False)
+        result = execute_schedule(config, generate_schedule(config))
+        assert result.ok, result.trace_text()
+        assert result.recoveries > 0
+        assert result.committed_txns > 0
+
+    def test_small_campaign_covers_taxonomy(self):
+        campaign = run_campaign(4, base_seed=60, n_events=30,
+                                differential=True, shrink=False)
+        assert campaign.ok, [f.trace_text() for f in campaign.failures]
+        assert campaign.all_failure_kinds_covered()
+        assert campaign.all_mode_combos_run()
+        summary = campaign.summary()
+        assert summary["schedules"] == 4
+        assert summary["failed"] == 0
+
+
+class TestShrinking:
+    def test_poison_schedule_shrinks_to_the_poison(self):
+        """A deliberately divergent event (a commit the oracle never
+        hears about) must be detected, and greedy deletion must strip
+        the surrounding noise down to (almost) just the poison."""
+        config = ChaosConfig(seed=13, n_events=20, shrink=False,
+                             differential=False)
+        events = [e for e in generate_schedule(config)
+                  if e.kind not in FAILURE_KINDS]
+        poisoned = events + [Event(999.0, 10_000, "poison")]
+        result = execute_schedule(config, poisoned)
+        assert not result.ok
+        shrunk = shrink_schedule(config, poisoned)
+        assert any(e.kind == "poison" for e in shrunk)
+        assert len(shrunk) <= 2
+        assert not execute_schedule(config, shrunk).ok
+
+    def test_failing_run_attaches_shrunk_schedule(self):
+        config = ChaosConfig(seed=13, n_events=12, shrink=True,
+                             differential=False)
+
+        # run_chaos generates its own events; emulate by running the
+        # poisoned schedule through execute + shrink exactly as the
+        # CLI does for a failing seed.
+        events = generate_schedule(config)
+        poisoned = events + [Event(999.0, 10_000, "poison")]
+        result = execute_schedule(config, poisoned)
+        assert not result.ok
+        assert "poison" in result.event_counts
+
+
+class TestArtifacts:
+    def test_failing_cli_run_writes_trace(self, tmp_path, capsys):
+        # No public way to force a failure from the CLI without a bug,
+        # so drive the artifact writer directly.
+        from repro.sim.harness import _write_artifact
+
+        config = ChaosConfig(seed=99, restart_mode="on_demand")
+        result = execute_schedule(config, [Event(1.0, 0, "poison")])
+        assert not result.ok
+        path = _write_artifact(str(tmp_path), result)
+        assert os.path.exists(path)
+        content = open(path).read()
+        assert "RESULT FAIL" in content
+        assert "seed=99" in content
+
+
+@pytest.mark.slow
+class TestNightlyCampaign:
+    """Nightly chaos: hundreds of random seeds (base seed printed for
+    replay), failing traces written to ``CHAOS_ARTIFACTS``."""
+
+    def test_campaign(self):
+        n_schedules = int(os.environ.get("CHAOS_SCHEDULES", "500"))
+        base_seed = int(os.environ.get("CHAOS_BASE_SEED", "0"))
+        artifacts = os.environ.get("CHAOS_ARTIFACTS", "chaos-traces")
+        print(f"chaos nightly: schedules={n_schedules} "
+              f"base_seed={base_seed}")
+        campaign = run_campaign(n_schedules, base_seed=base_seed,
+                                n_events=40)
+        for failure in campaign.failures:
+            from repro.sim.harness import _write_artifact
+
+            print("failing trace:", _write_artifact(artifacts, failure))
+        assert campaign.ok, (
+            f"{len(campaign.failures)} of {n_schedules} schedules failed; "
+            f"traces in {artifacts}/")
+        assert campaign.all_failure_kinds_covered()
+        assert campaign.all_mode_combos_run()
