@@ -207,6 +207,75 @@ def bench_instant_restore() -> dict:
     }
 
 
+def bench_commit_throughput(commits_per_thread: int = 120) -> dict:
+    """Forces-per-commit as committing threads grow (cross-thread
+    group commit).
+
+    Each point runs N worker threads over Sessions against one engine,
+    every thread committing single-update transactions on its own key
+    range (no lock conflicts — the probe isolates the commit barrier).
+    At one thread every commit leads its own force (forces/commit =
+    1.0); as threads grow, committers ride the in-flight leader's
+    force, so the ratio must collapse: the pass criterion is the
+    8-thread value <= 0.5x the single-thread value.
+    """
+    import threading
+
+    points = []
+    for n_threads in (1, 4, 8):
+        keys_per_thread = 200
+        db, tree = fast_db(n_threads * keys_per_thread,
+                           commit_window_seconds=0.003)
+        barrier = threading.Barrier(n_threads)
+        errors: list[BaseException] = []
+
+        def worker(thread_no: int, db=db, tree=tree, barrier=barrier,
+                   errors=errors) -> None:
+            try:
+                session = db.session()
+                barrier.wait()
+                base = thread_no * keys_per_thread
+                for i in range(commits_per_thread):
+                    session.begin()
+                    session.update(tree, key_of(base + i % keys_per_thread),
+                                   value_of(base + i % keys_per_thread, 1))
+                    session.commit()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        db.session()  # arm the barrier before measuring
+        before = db.stats.get("log_forces")
+        t0 = time.perf_counter()
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        elapsed = time.perf_counter() - t0
+        commits = n_threads * commits_per_thread
+        forces = db.stats.get("log_forces") - before
+        points.append({
+            "threads": n_threads,
+            "commits": commits,
+            "log_forces": forces,
+            "forces_per_commit": round(forces / commits, 4),
+            "group_commit_riders": db.stats.get("group_commit_riders"),
+            "commits_per_second_wall": round(commits / elapsed),
+        })
+    single, eight = points[0], points[-1]
+    return {
+        "points": points,
+        "amortization_ratio": round(
+            eight["forces_per_commit"] / single["forces_per_commit"], 4),
+        "amortizes": (eight["forces_per_commit"]
+                      <= 0.5 * single["forces_per_commit"]),
+        "riders_appear": eight["group_commit_riders"] > 0,
+    }
+
+
 def bench_chaos_coverage(n_schedules: int = 8) -> dict:
     """Scenario-coverage probe: a fixed-seed chaos campaign must cover
     all five failure-event kinds and all four restart x restore mode
@@ -255,6 +324,19 @@ def check_snapshot(snapshot: dict) -> list[str]:
     return failures
 
 
+def check_concurrency_snapshot(snapshot: dict) -> list[str]:
+    """Pass criteria of the concurrency snapshot."""
+    failures = []
+    data = snapshot.get("commit_throughput", {})
+    for key in ("amortizes", "riders_appear"):
+        if not data.get(key):
+            failures.append(f"commit_throughput.{key} is falsy")
+    points = data.get("points", [])
+    if points and points[0].get("forces_per_commit", 0) > 1.0:
+        failures.append("commit_throughput: single-thread forces/commit > 1")
+    return failures
+
+
 def main() -> int:
     seed_everything(0)
     out_dir = sys.argv[1] if len(sys.argv) > 1 else _ROOT
@@ -276,6 +358,25 @@ def main() -> int:
         fh.write("\n")
     print(f"wrote {path}")
     print(json.dumps(snapshot, indent=2))
+
+    # Concurrency snapshot: the cross-thread group-commit probe keeps
+    # its own file so its (wall-clock-sensitive) numbers don't churn
+    # the deterministic simulated-cost snapshot above.
+    concurrency = {
+        "generated_unix": int(time.time()),
+        "python": sys.version.split()[0],
+        "commit_throughput": bench_commit_throughput(),
+    }
+    concurrency_failures = check_concurrency_snapshot(concurrency)
+    concurrency["probe_failures"] = concurrency_failures
+    failures = failures + concurrency_failures
+    path = os.path.join(out_dir, "BENCH_concurrency.json")
+    with open(path, "w") as fh:
+        json.dump(concurrency, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {path}")
+    print(json.dumps(concurrency, indent=2))
+
     if failures:
         print("PROBE FAILURES:", file=sys.stderr)
         for failure in failures:

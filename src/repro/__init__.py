@@ -28,6 +28,7 @@ Quick start::
 from repro.core.backup import BackupPolicy
 from repro.engine.config import EngineConfig
 from repro.engine.database import Database
+from repro.engine.session import Session
 from repro.errors import (
     FailureClass,
     MediaFailure,
@@ -50,6 +51,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Database",
+    "Session",
     "EngineConfig",
     "BackupPolicy",
     "SimClock",

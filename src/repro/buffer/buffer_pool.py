@@ -29,10 +29,22 @@ checks on an already-resident frame), :meth:`repair_failure` closes
 the loop: it quarantines the suspect frame, runs the engine-supplied
 ``repairer`` (Figure 8's dispatch), and re-fixes the repaired page, so
 readers never patch pages themselves.
+
+Concurrency: the frame table, pin counts, and the eviction policy are
+guarded by one pool mutex; each frame additionally carries a **page
+latch** that is held across the fetch of a not-yet-resident page.  Two
+threads racing to fix the same absent page resolve by latch ordering:
+the first installs a pinned *loading* placeholder and runs the fetcher
+(detection, repair, ``redo_on_fix`` roll-forward, restore-on-fix) with
+the latch held; the second blocks on the latch and re-checks — so the
+fetch/repair/redo work for a page runs exactly once, and eviction
+skips both pinned and loading frames.  The pool mutex is never held
+across a fetch, only across table bookkeeping and write-backs.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.buffer.eviction import ClockEviction
@@ -40,6 +52,7 @@ from repro.errors import BufferPoolError, SinglePageFailure
 from repro.page.page import Page
 from repro.sim.stats import Stats
 from repro.storage.device import StorageDevice
+from repro.sync import Mutex
 from repro.wal.log_manager import LogManager
 from repro.wal.lsn import NULL_LSN
 
@@ -47,16 +60,22 @@ from repro.wal.lsn import NULL_LSN
 class Frame:
     """One buffer-pool frame."""
 
-    __slots__ = ("page", "dirty", "rec_lsn", "pin_count")
+    __slots__ = ("page", "dirty", "rec_lsn", "pin_count", "latch", "loading")
 
-    def __init__(self, page: Page) -> None:
+    def __init__(self, page: Page | None) -> None:
         self.page = page
         self.dirty = False
         self.rec_lsn = NULL_LSN
         self.pin_count = 0
+        self.latch = Mutex()
+        #: True while the frame is a placeholder whose fetch is still
+        #: running under the latch; such a frame is pinned by the
+        #: loading thread and invisible to dirty/eviction bookkeeping.
+        self.loading = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"Frame(page={self.page.page_id}, dirty={self.dirty}, "
+        page_id = None if self.page is None else self.page.page_id
+        return (f"Frame(page={page_id}, dirty={self.dirty}, "
                 f"rec_lsn={self.rec_lsn}, pins={self.pin_count})")
 
 
@@ -86,32 +105,70 @@ class BufferPool:
         self.redo_on_fix = None  # Callable[[Page], int | None] | None
         self._frames: dict[int, Frame] = {}
         self._policy = ClockEviction()
+        self._mutex = Mutex()
+        #: pages with a repair_failure dispatch in progress — a second
+        #: thread hitting the same suspect page waits for the first
+        #: repair instead of double-running single-page recovery
+        self._repairing: set[int] = set()
 
     # ------------------------------------------------------------------
     # Fixing
     # ------------------------------------------------------------------
     def fix(self, page_id: int) -> Page:
-        """Pin ``page_id`` in the pool, reading it if absent."""
-        frame = self._frames.get(page_id)
-        if frame is None:
-            self.stats.bump("buffer_misses")
-            self._make_room()
-            page = self.fetcher(page_id)
-            rec_lsn = (self.redo_on_fix(page)
-                       if self.redo_on_fix is not None else None)
-            frame = Frame(page)
-            self._frames[page_id] = frame
-            self._policy.admitted(page_id)
+        """Pin ``page_id`` in the pool, reading it if absent.
+
+        The fetch of an absent page runs under that page's latch with a
+        pinned placeholder installed, so a concurrent fix of the same
+        page waits for the one in-flight read instead of issuing its
+        own (and instead of racing the redo/restore-on-fix hooks).
+        """
+        while True:
+            wait_frame = None
+            with self._mutex:
+                frame = self._frames.get(page_id)
+                if frame is None:
+                    self.stats.bump("buffer_misses")
+                    self._make_room()
+                    frame = Frame(None)
+                    frame.loading = True
+                    frame.pin_count = 1  # the loader's pin
+                    frame.latch.acquire()  # released when the load ends
+                    self._frames[page_id] = frame
+                    self._policy.admitted(page_id)
+                elif frame.loading:
+                    wait_frame = frame
+                else:
+                    self.stats.bump("buffer_hits")
+                    self._policy.touched(page_id)
+                    frame.pin_count += 1
+                    return frame.page
+            if wait_frame is not None:
+                # Block until the loader releases the latch, then retry
+                # the lookup — the load may have failed and vanished.
+                with wait_frame.latch:
+                    pass
+                continue
+            try:
+                page = self.fetcher(page_id)
+                rec_lsn = (self.redo_on_fix(page)
+                           if self.redo_on_fix is not None else None)
+            except BaseException:
+                # Failed load: withdraw the placeholder so waiters (and
+                # retries) see an absent page, not a poisoned frame.
+                with self._mutex:
+                    del self._frames[page_id]
+                    self._policy.removed(page_id)
+                frame.latch.release()
+                raise
+            frame.page = page
             if rec_lsn is not None:
                 # Stale page rolled forward on fix (instant restart):
                 # the frame starts out dirty, like any redone page.
                 frame.dirty = True
                 frame.rec_lsn = rec_lsn
-        else:
-            self.stats.bump("buffer_hits")
-            self._policy.touched(page_id)
-        frame.pin_count += 1
-        return frame.page
+            frame.loading = False
+            frame.latch.release()
+            return page
 
     def fix_new(self, page: Page) -> Page:
         """Install a freshly formatted (or recovered) page, pinned.
@@ -121,20 +178,22 @@ class BufferPool:
         — so no device read should occur.
         """
         page_id = page.page_id
-        if page_id in self._frames:
-            raise BufferPoolError(f"page {page_id} already resident")
-        self._make_room()
-        frame = Frame(page)
-        frame.pin_count = 1
-        self._frames[page_id] = frame
-        self._policy.admitted(page_id)
-        return frame.page
+        with self._mutex:
+            if page_id in self._frames:
+                raise BufferPoolError(f"page {page_id} already resident")
+            self._make_room()
+            frame = Frame(page)
+            frame.pin_count = 1
+            self._frames[page_id] = frame
+            self._policy.admitted(page_id)
+            return frame.page
 
     def unfix(self, page_id: int) -> None:
-        frame = self._require(page_id)
-        if frame.pin_count <= 0:
-            raise BufferPoolError(f"page {page_id} is not pinned")
-        frame.pin_count -= 1
+        with self._mutex:
+            frame = self._require(page_id)
+            if frame.pin_count <= 0:
+                raise BufferPoolError(f"page {page_id} is not pinned")
+            frame.pin_count -= 1
 
     def _require(self, page_id: int) -> Frame:
         frame = self._frames.get(page_id)
@@ -162,13 +221,37 @@ class BufferPool:
         if self.repairer is None:
             raise failure
         page_id = failure.page_id
-        if page_id in self._frames:
-            if self._frames[page_id].pin_count > 0:
+        # A concurrent reader may hold a transient pin on the suspect
+        # frame, or already be repairing it; wait briefly for either to
+        # clear.  A pin that never drains (the single-threaded caller
+        # itself, or a wedged thread) still raises — no livelock.
+        deadline = time.monotonic() + 0.25
+        waited_for_repair = False
+        while True:
+            with self._mutex:
+                frame = self._frames.get(page_id)
+                busy = page_id in self._repairing
+                if not busy and waited_for_repair:
+                    # Another thread repaired this page while we
+                    # waited: reuse its work (the caller re-verifies).
+                    break
+                if not busy and (frame is None or frame.pin_count == 0):
+                    if frame is not None:
+                        # Do not write the corrupt image back.
+                        self.drop_frame(page_id)
+                    self._repairing.add(page_id)
+                    self.stats.bump("pool_repairs")
+                    break
+                waited_for_repair = busy or waited_for_repair
+            if time.monotonic() >= deadline:
                 raise failure  # pinned elsewhere; cannot repair safely
-            # Do not write the corrupt image back.
-            self.drop_frame(page_id)
-        self.stats.bump("pool_repairs")
-        self.repairer(failure)
+            time.sleep(0.001)
+        if not waited_for_repair:
+            try:
+                self.repairer(failure)
+            finally:
+                with self._mutex:
+                    self._repairing.discard(page_id)
         return self.fix(page_id)
 
     # ------------------------------------------------------------------
@@ -176,32 +259,46 @@ class BufferPool:
     # ------------------------------------------------------------------
     def mark_dirty(self, page_id: int, lsn: int) -> None:
         """Record that log record ``lsn`` dirtied the page."""
-        frame = self._require(page_id)
-        if not frame.dirty:
-            frame.dirty = True
-            frame.rec_lsn = lsn
-        # If already dirty, rec_lsn stays at the *first* dirtying LSN.
+        with self._mutex:
+            frame = self._require(page_id)
+            if not frame.dirty:
+                frame.dirty = True
+                frame.rec_lsn = lsn
+            # If already dirty, rec_lsn stays at the *first* dirtying LSN.
 
     def is_dirty(self, page_id: int) -> bool:
-        return self._require(page_id).dirty
+        with self._mutex:
+            return self._require(page_id).dirty
 
     def dirty_page_table(self) -> dict[int, int]:
         """page id -> rec_lsn for all dirty frames (checkpoint payload)."""
-        return {pid: f.rec_lsn for pid, f in self._frames.items() if f.dirty}
+        with self._mutex:
+            return {pid: f.rec_lsn for pid, f in self._frames.items()
+                    if f.dirty}
 
     def resident(self, page_id: int) -> bool:
-        return page_id in self._frames
+        with self._mutex:
+            frame = self._frames.get(page_id)
+            return frame is not None and not frame.loading
 
     def resident_pages(self) -> list[int]:
-        return sorted(self._frames)
+        # Consistent with resident(): loading placeholders are not yet
+        # resident.  (__len__ does count them — they occupy capacity.)
+        with self._mutex:
+            return sorted(pid for pid, f in self._frames.items()
+                          if not f.loading)
 
     def pin_count(self, page_id: int) -> int:
-        frame = self._frames.get(page_id)
-        return 0 if frame is None else frame.pin_count
+        with self._mutex:
+            frame = self._frames.get(page_id)
+            return 0 if frame is None else frame.pin_count
 
     def page_if_resident(self, page_id: int) -> Page | None:
-        frame = self._frames.get(page_id)
-        return None if frame is None else frame.page
+        with self._mutex:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.loading:
+                return None
+            return frame.page
 
     # ------------------------------------------------------------------
     # Write-back (Figure 11)
@@ -213,38 +310,47 @@ class BufferPool:
         device write, ``on_page_cleaned`` runs (the engine logs the PRI
         update there) *before* the frame becomes evictable.
         """
-        frame = self._require(page_id)
-        if not frame.dirty:
-            return False
-        page = frame.page
-        # WAL rule: no page goes to disk before its log records do.
-        self.log.force(page.page_lsn + 1)
-        if self.on_before_write is not None:
-            # The engine's page-backup policy hook (Section 6): it may
-            # take a page copy and reset the in-page update counter, so
-            # it must run before the image is sealed and written.
-            self.on_before_write(page)
-        page.seal()
-        self.device.write(page_id, page.data)
-        frame.dirty = False
-        frame.rec_lsn = NULL_LSN
-        self.stats.bump("pages_written_back")
-        if self.on_page_cleaned is not None:
-            self.on_page_cleaned(page)
-        return True
+        with self._mutex:
+            frame = self._require(page_id)
+            if not frame.dirty:
+                return False
+            page = frame.page
+            # WAL rule: no page goes to disk before its log records do.
+            self.log.force(page.page_lsn + 1)
+            if self.on_before_write is not None:
+                # The engine's page-backup policy hook (Section 6): it
+                # may take a page copy and reset the in-page update
+                # counter, so it must run before the image is sealed
+                # and written.
+                self.on_before_write(page)
+            page.seal()
+            self.device.write(page_id, page.data)
+            frame.dirty = False
+            frame.rec_lsn = NULL_LSN
+            self.stats.bump("pages_written_back")
+            if self.on_page_cleaned is not None:
+                self.on_page_cleaned(page)
+            return True
 
     def flush_all(self) -> int:
         """Flush every dirty page (checkpoint); returns pages written."""
         written = 0
-        for page_id in sorted(self._frames):
-            if self.flush_page(page_id):
-                written += 1
+        for page_id in self.resident_pages():
+            with self._mutex:
+                if page_id not in self._frames:
+                    continue
+                if self.flush_page(page_id):
+                    written += 1
         return written
 
     # ------------------------------------------------------------------
     # Eviction
     # ------------------------------------------------------------------
     def _make_room(self) -> None:
+        # Callers hold the pool mutex.  Pinned frames — which include
+        # every loading placeholder, pinned by its loader — are never
+        # victims; if everything is pinned the pool reports it rather
+        # than livelocking.
         while len(self._frames) >= self.capacity:
             victim = self._policy.choose_victim(
                 lambda pid: self._frames[pid].pin_count == 0)
@@ -254,14 +360,15 @@ class BufferPool:
 
     def evict(self, page_id: int) -> None:
         """Flush (if dirty) and drop a frame."""
-        frame = self._require(page_id)
-        if frame.pin_count > 0:
-            raise BufferPoolError(f"cannot evict pinned page {page_id}")
-        if frame.dirty:
-            self.flush_page(page_id)
-        del self._frames[page_id]
-        self._policy.removed(page_id)
-        self.stats.bump("pages_evicted")
+        with self._mutex:
+            frame = self._require(page_id)
+            if frame.pin_count > 0:
+                raise BufferPoolError(f"cannot evict pinned page {page_id}")
+            if frame.dirty:
+                self.flush_page(page_id)
+            del self._frames[page_id]
+            self._policy.removed(page_id)
+            self.stats.bump("pages_evicted")
 
     def drop_frame(self, page_id: int) -> None:
         """Discard one frame *without* writing it back.
@@ -269,17 +376,20 @@ class BufferPool:
         Used when the in-memory image is untrustworthy (a page that
         failed cross-page verification must not be written to disk).
         """
-        frame = self._require(page_id)
-        if frame.pin_count > 0:
-            raise BufferPoolError(f"cannot drop pinned page {page_id}")
-        del self._frames[page_id]
-        self._policy.removed(page_id)
-        self.stats.bump("frames_dropped")
+        with self._mutex:
+            frame = self._require(page_id)
+            if frame.pin_count > 0:
+                raise BufferPoolError(f"cannot drop pinned page {page_id}")
+            del self._frames[page_id]
+            self._policy.removed(page_id)
+            self.stats.bump("frames_dropped")
 
     def drop_all(self) -> None:
         """Discard every frame without writing (crash simulation)."""
-        self._frames.clear()
-        self._policy = ClockEviction()
+        with self._mutex:
+            self._frames.clear()
+            self._policy = ClockEviction()
 
     def __len__(self) -> int:
-        return len(self._frames)
+        with self._mutex:
+            return len(self._frames)

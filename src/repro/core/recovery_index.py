@@ -29,6 +29,7 @@ import struct
 from dataclasses import dataclass
 
 from repro.errors import RecoveryError
+from repro.sync import Mutex
 from repro.wal.records import BackupRef, BackupRefKind
 
 #: Figure 7 / Section 5.2.2: "the size of the page recovery index may
@@ -81,6 +82,10 @@ class PageRecoveryIndex:
         self._lsns: list[int] = []      # backup_page_lsn per range
         self._times: list[float] = []   # backup_time per range
         self._page_lsns: dict[int, int] = {}
+        # Lookups and maintenance run from concurrent sessions (the
+        # repair path updates the index on reads); one mutex keeps the
+        # parallel arrays consistent.
+        self._mutex = Mutex()
 
     # ------------------------------------------------------------------
     # Range machinery
@@ -115,6 +120,11 @@ class PageRecoveryIndex:
         """Record a new backup for one page; returns the *old* backup
         reference so the caller can free it ("used when freeing the old
         backup page when taking a new page backup", Figure 7)."""
+        with self._mutex:
+            return self._set_backup_locked(page_id, ref, page_lsn, now)
+
+    def _set_backup_locked(self, page_id: int, ref: BackupRef, page_lsn: int,
+                           now: float) -> BackupRef | None:
         old_ref: BackupRef | None = None
         pos = self._find_range(page_id)
         if pos is not None:
@@ -146,6 +156,11 @@ class PageRecoveryIndex:
         backup.  Replaces everything it overlaps."""
         if start >= end:
             raise ValueError("empty range")
+        with self._mutex:
+            self._set_range_backup_locked(start, end, ref, page_lsn, now)
+
+    def _set_range_backup_locked(self, start: int, end: int, ref: BackupRef,
+                                 page_lsn: int, now: float) -> None:
         # Trim or split existing overlapping ranges.
         lo = bisect.bisect_right(self._starts, start) - 1
         if lo < 0:
@@ -183,7 +198,8 @@ class PageRecoveryIndex:
     # ------------------------------------------------------------------
     def record_write(self, page_id: int, page_lsn: int) -> None:
         """A cleaned data page was written back with this PageLSN."""
-        self._page_lsns[page_id] = page_lsn
+        with self._mutex:
+            self._page_lsns[page_id] = page_lsn
 
     def recorded_lsn(self, page_id: int) -> int | None:
         return self._page_lsns.get(page_id)
@@ -193,15 +209,17 @@ class PageRecoveryIndex:
     # ------------------------------------------------------------------
     def lookup(self, page_id: int) -> PriEntry:
         """Entry for ``page_id``; raises if the page is not covered."""
-        pos = self._find_range(page_id)
-        if pos is None:
-            raise RecoveryError(
-                f"page {page_id} has no entry in the page recovery index")
-        return PriEntry(self._refs[pos], self._lsns[pos],
-                        self._page_lsns.get(page_id), self._times[pos])
+        with self._mutex:
+            pos = self._find_range(page_id)
+            if pos is None:
+                raise RecoveryError(
+                    f"page {page_id} has no entry in the page recovery index")
+            return PriEntry(self._refs[pos], self._lsns[pos],
+                            self._page_lsns.get(page_id), self._times[pos])
 
     def covers(self, page_id: int) -> bool:
-        return self._find_range(page_id) is not None
+        with self._mutex:
+            return self._find_range(page_id) is not None
 
     def expected_page_lsn(self, page_id: int) -> int | None:
         """The PageLSN a freshly read page must carry.
@@ -211,15 +229,16 @@ class PageRecoveryIndex:
         pool with the information in the page recovery index."  Returns
         None when the page is unknown to the index.
         """
-        recorded = self._page_lsns.get(page_id)
-        if recorded is not None:
-            return recorded
-        pos = self._find_range(page_id)
-        if pos is None:
-            return None
-        if self._ends[pos] - self._starts[pos] == 1:
-            # A point entry's backup LSN is exact for this page.
-            return self._lsns[pos]
+        with self._mutex:
+            recorded = self._page_lsns.get(page_id)
+            if recorded is not None:
+                return recorded
+            pos = self._find_range(page_id)
+            if pos is None:
+                return None
+            if self._ends[pos] - self._starts[pos] == 1:
+                # A point entry's backup LSN is exact for this page.
+                return self._lsns[pos]
         # A range entry (e.g. a full database backup) stores one LSN
         # for many pages; it bounds but does not pin any single page's
         # PageLSN, so no exact expectation exists yet.
@@ -251,6 +270,10 @@ class PageRecoveryIndex:
     _LSN_STRUCT = struct.Struct("<qq")
 
     def serialize(self) -> bytes:
+        with self._mutex:
+            return self._serialize_locked()
+
+    def _serialize_locked(self) -> bytes:
         out = [struct.pack("<II", len(self._starts), len(self._page_lsns))]
         for i in range(len(self._starts)):
             out.append(self._RANGE_STRUCT.pack(

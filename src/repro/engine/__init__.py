@@ -25,6 +25,7 @@ from repro.engine.catalog import Catalog
 from repro.engine.checkpointer import Checkpointer
 from repro.engine.config import EngineConfig
 from repro.engine.database import Database
+from repro.engine.session import Session
 
-__all__ = ["Database", "EngineConfig", "Catalog", "PageAllocator",
-           "Checkpointer"]
+__all__ = ["Database", "Session", "EngineConfig", "Catalog",
+           "PageAllocator", "Checkpointer"]

@@ -22,6 +22,7 @@ from repro.core.backup import BackupPolicy, make_log_image_payload
 from repro.core.recovery_index import PageRecoveryIndex, PartitionedRecoveryIndex
 from repro.errors import ConfigError, ReproError, StorageError
 from repro.page.page import Page, PageType
+from repro.sync import Mutex
 from repro.wal.records import BackupRef, CheckpointData, LogRecord, LogRecordKind
 
 
@@ -30,6 +31,11 @@ class Checkpointer:
 
     def __init__(self, db) -> None:  # noqa: ANN001 - Database facade
         self.db = db
+        # Two threads must never interleave checkpoints (the PRI
+        # region would interleave partition snapshots); sessions
+        # already serialize via the engine latch, this guards direct
+        # concurrent Database.checkpoint() calls too.
+        self._mutex = Mutex()
 
     def _partitions(self) -> tuple[PageRecoveryIndex, ...]:
         pri = self.db.pri
@@ -42,6 +48,10 @@ class Checkpointer:
     # ------------------------------------------------------------------
     def checkpoint(self) -> int:
         """Write a checkpoint; returns the CHECKPOINT_END LSN."""
+        with self._mutex:
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> int:
         db = self.db
         if db.restart_registry is not None:
             # A checkpoint completes any on-demand restart first: its

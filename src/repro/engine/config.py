@@ -79,6 +79,12 @@ class EngineConfig:
     #: encoded-byte budget of one in-memory log segment (the unit of
     #: indexed log lookup and truncation)
     log_segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    #: cross-thread group commit: *real* seconds a committing group
+    #: leader waits for riders to enqueue before forcing.  Only used
+    #: once :meth:`repro.engine.database.Database.session` arms the
+    #: barrier — the single-threaded engine and the chaos harness
+    #: never pay (or observe) this window.
+    commit_window_seconds: float = 0.002
     #: group commit: commit-triggered forces harden the whole buffered
     #: tail, and :meth:`TransactionManager.group_commit` batches may
     #: share one force across many commits.  Disabled, every user

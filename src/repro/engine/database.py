@@ -56,6 +56,7 @@ from repro.sim.clock import SimClock
 from repro.sim.stats import Stats
 from repro.storage.device import StorageDevice
 from repro.storage.faults import FaultInjector
+from repro.sync import ReadWriteLatch
 from repro.txn.locks import LockManager
 from repro.txn.manager import TransactionManager
 from repro.txn.transaction import Transaction
@@ -125,6 +126,13 @@ class Database:
         #: ("media") returns, whatever code path initiated it
         self.crash_hooks: list = []
         self.recovery_hooks: list = []
+
+        #: the engine read/write latch: sessions take it shared for
+        #: lookups and exclusive for structural work (see
+        #: :mod:`repro.engine.session`); the single-threaded Database
+        #: API never touches it, so embeddings and the deterministic
+        #: chaos harness are unaffected
+        self.latch = ReadWriteLatch()
 
         self._crashed = False
         self._media_failed = False
@@ -297,6 +305,21 @@ class Database:
     def group_commit(self):  # noqa: ANN201 - context manager
         """Batch user commits into one log force (group commit)."""
         return self.tm.group_commit()
+
+    def session(self):  # noqa: ANN201 - Session
+        """A transactional handle for one worker thread.
+
+        Creating the first session arms the log's cross-thread
+        group-commit barrier (window from ``config.
+        commit_window_seconds``); N sessions on N threads then run
+        against this one engine, commits amortizing forces through the
+        leader/rider protocol.  See :mod:`repro.engine.session`.
+        """
+        from repro.engine.session import Session
+
+        self.log.enable_cross_thread_commit(
+            self.config.commit_window_seconds)
+        return Session(self)
 
     # Convenience single-operation transactions ------------------------
     def insert(self, tree: FosterBTree, key: bytes, value: bytes,

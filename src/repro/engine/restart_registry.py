@@ -35,6 +35,7 @@ from repro.engine.system_recovery import (
     undo_loser,
 )
 from repro.page.page import Page
+from repro.sync import Mutex
 from repro.wal.lsn import NULL_LSN
 from repro.wal.records import LogRecord
 
@@ -69,6 +70,14 @@ class RestartRegistry:
             self.pending_losers[txn_id] = PendingLoser(
                 txn_id, last_lsn, is_system, first_lsn, keys)
         self.completed_at_lsn: int | None = None
+        #: guards the pending maps: the fix-path redo hook runs under
+        #: whatever latch the fixing thread holds (shared readers
+        #: included), while drains run under the exclusive engine
+        #: latch — the mutex keeps the registry consistent either way
+        self._mutex = Mutex()
+        #: losers whose rollback is running right now (claimed under
+        #: the mutex, rolled back outside it)
+        self._undoing: set[int] = set()
 
     # ------------------------------------------------------------------
     # Installation / detachment
@@ -172,9 +181,14 @@ class RestartRegistry:
         or ``None`` if the page turned out to be current already (the
         Figure-12 bottom row: generate the lost PRI-update record).
         """
-        records = self.pending_pages.get(page.page_id)
-        if records is None:
-            return None
+        with self._mutex:
+            records = self.pending_pages.get(page.page_id)
+            if records is None:
+                return None
+            return self._redo_fetched_locked(page, records)
+
+    def _redo_fetched_locked(self, page: Page,
+                             records: list[LogRecord]) -> int | None:
         db = self.db
         # The page stays pending until its redo *succeeds*: a failure
         # here propagates out of the fix (no frame is installed) and a
@@ -201,6 +215,10 @@ class RestartRegistry:
     def discard_page(self, page_id: int) -> None:
         """A pending page was reformatted by fresh allocation before
         its first read: the formatting supersedes all pending redo."""
+        with self._mutex:
+            self._discard_page_locked(page_id)
+
+    def _discard_page_locked(self, page_id: int) -> None:
         if self.pending_pages.pop(page_id, None) is not None:
             self.db.stats.bump("lazy_redo_superseded")
             self._maybe_finish()
@@ -217,18 +235,31 @@ class RestartRegistry:
         return self.undo_pending_loser(holder_txn_id)
 
     def undo_pending_loser(self, txn_id: int) -> bool:
-        loser = self.pending_losers.get(txn_id)
-        if loser is None:
-            return False
         db = self.db
-        # The loser stays pending until its rollback completes, so a
-        # mid-undo failure neither strands its locks behind a phantom
-        # holder nor lets the completion watermark lift early.
-        undo_loser(db, txn_id, loser.last_lsn, loser.is_system)
-        del self.pending_losers[txn_id]
-        db.locks.release_all(txn_id)
-        db.stats.bump("lazy_undo_txns")
-        self._maybe_finish()
+        # Claim under the mutex, roll back outside it: rollback fixes
+        # pages (pool mutex, frame latches), and a fix-path hook on
+        # another thread takes this mutex while holding a frame latch —
+        # holding it across the rollback would invert that order.  The
+        # loser stays in pending_losers until its rollback completes,
+        # so a mid-undo failure neither strands its locks behind a
+        # phantom holder nor lets the completion watermark lift early.
+        with self._mutex:
+            loser = self.pending_losers.get(txn_id)
+            if loser is None or txn_id in self._undoing:
+                return False
+            self._undoing.add(txn_id)
+        try:
+            undo_loser(db, txn_id, loser.last_lsn, loser.is_system)
+        except BaseException:
+            with self._mutex:
+                self._undoing.discard(txn_id)
+            raise
+        with self._mutex:
+            self._undoing.discard(txn_id)
+            del self.pending_losers[txn_id]
+            db.locks.release_all(txn_id)
+            db.stats.bump("lazy_undo_txns")
+            self._maybe_finish()
         return True
 
     # ------------------------------------------------------------------
@@ -241,7 +272,11 @@ class RestartRegistry:
         Returns ``(pages_resolved, losers_resolved)``."""
         db = self.db
         pages_done = 0
-        for page_id in sorted(self.pending_pages):
+        with self._mutex:
+            pending_now = sorted(self.pending_pages)
+        for page_id in pending_now:
+            if page_id not in self.pending_pages:
+                continue  # resolved by a racing fix
             if page_budget is not None and pages_done >= page_budget:
                 break
             # The fix path runs the redo hook; drop the pin right away.
@@ -249,8 +284,9 @@ class RestartRegistry:
             db.pool.unfix(page_id)
             pages_done += 1
         losers_done = 0
-        order = sorted(self.pending_losers.values(),
-                       key=lambda loser: -loser.last_lsn)
+        with self._mutex:
+            order = sorted(self.pending_losers.values(),
+                           key=lambda loser: -loser.last_lsn)
         for loser in order:
             if loser_budget is not None and losers_done >= loser_budget:
                 break

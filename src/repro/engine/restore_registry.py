@@ -43,6 +43,7 @@ from repro.engine.restart_registry import PendingLoser
 from repro.engine.system_recovery import redo_page_records, undo_loser
 from repro.errors import LogError, RecoveryError
 from repro.page.page import Page
+from repro.sync import Mutex
 from repro.wal.lsn import NULL_LSN
 from repro.wal.records import BackupRef, LogRecord, LogRecordKind
 
@@ -73,6 +74,14 @@ class RestoreRegistry:
                 txn_id, last_lsn, is_system,
                 first_lsn=first_lsn, keys=keys)
         self.completed_at_lsn: int | None = None
+        #: guards the pending maps and the image cache: restore-on-fix
+        #: runs under whatever latch the fixing thread holds, drains
+        #: under the exclusive engine latch — either way the per-page
+        #: restore claim is atomic, so a page restores exactly once
+        self._mutex = Mutex()
+        #: losers whose rollback is running right now (claimed under
+        #: the mutex, rolled back outside it)
+        self._undoing: set[int] = set()
         #: eager prefetch: backup images pulled with one sequential read
         self._image_cache: dict[int, bytes] = {}
         self._image_lsns: dict[int, int] = {}
@@ -242,6 +251,11 @@ class RestoreRegistry:
         — the primitive eager restart redo uses — so the result is
         byte-identical either way.
         """
+        with self._mutex:
+            return self._restore_page_locked(page_id, sequential, use_chain)
+
+    def _restore_page_locked(self, page_id: int, sequential: bool,
+                             use_chain: bool) -> Page:
         db = self.db
         records = self.pending_pages.get(page_id)
         if records is None:
@@ -279,10 +293,11 @@ class RestoreRegistry:
     def discard_page(self, page_id: int) -> None:
         """A pending page was reformatted by fresh allocation before
         its first read: the formatting supersedes its restore."""
-        if self.pending_pages.pop(page_id, None) is not None:
-            self._image_cache.pop(page_id, None)
-            self.db.stats.bump("restore_superseded")
-            self._maybe_finish()
+        with self._mutex:
+            if self.pending_pages.pop(page_id, None) is not None:
+                self._image_cache.pop(page_id, None)
+                self.db.stats.bump("restore_superseded")
+                self._maybe_finish()
 
     # ------------------------------------------------------------------
     # Lazy undo (the lock manager's conflict_resolver hook)
@@ -296,19 +311,31 @@ class RestoreRegistry:
         return self.undo_pending_loser(holder_txn_id)
 
     def undo_pending_loser(self, txn_id: int) -> bool:
-        loser = self.pending_losers.get(txn_id)
-        if loser is None:
-            return False
         db = self.db
-        # Rollback fixes pages through the pool, so any page the loser
-        # touched is restored on the way (the fetcher hook above); the
-        # loser stays pending until its rollback completes.
-        undo_loser(db, txn_id, loser.last_lsn, loser.is_system)
-        del self.pending_losers[txn_id]
-        db.locks.release_all(txn_id)
-        db.stats.bump("restore_undo_txns")
-        self.undone_losers.append(txn_id)
-        self._maybe_finish()
+        # Claim under the mutex, roll back outside it: rollback fixes
+        # pages through the pool (so any page the loser touched is
+        # restored on the way, via the fetcher hook — which itself
+        # takes this mutex under a frame latch); holding the mutex
+        # across the rollback would invert that lock order.  The loser
+        # stays in pending_losers until its rollback completes.
+        with self._mutex:
+            loser = self.pending_losers.get(txn_id)
+            if loser is None or txn_id in self._undoing:
+                return False
+            self._undoing.add(txn_id)
+        try:
+            undo_loser(db, txn_id, loser.last_lsn, loser.is_system)
+        except BaseException:
+            with self._mutex:
+                self._undoing.discard(txn_id)
+            raise
+        with self._mutex:
+            self._undoing.discard(txn_id)
+            del self.pending_losers[txn_id]
+            db.locks.release_all(txn_id)
+            db.stats.bump("restore_undo_txns")
+            self.undone_losers.append(txn_id)
+            self._maybe_finish()
         return True
 
     # ------------------------------------------------------------------
@@ -322,14 +349,21 @@ class RestoreRegistry:
         ``(pages_restored, losers_resolved)``."""
         db = self.db
         pages_done = 0
-        for page_id in sorted(self.pending_pages):
+        with self._mutex:
+            pending_now = sorted(self.pending_pages)
+        for page_id in pending_now:
             if page_budget is not None and pages_done >= page_budget:
                 break
-            self.restore_page(page_id, sequential=True, use_chain=False)
+            with self._mutex:
+                if page_id not in self.pending_pages:
+                    continue  # restored by a racing fix
+                self._restore_page_locked(page_id, sequential=True,
+                                          use_chain=False)
             pages_done += 1
         losers_done = 0
-        order = sorted(self.pending_losers.values(),
-                       key=lambda loser: -loser.last_lsn)
+        with self._mutex:
+            order = sorted(self.pending_losers.values(),
+                           key=lambda loser: -loser.last_lsn)
         for loser in order:
             if loser_budget is not None and losers_done >= loser_budget:
                 break

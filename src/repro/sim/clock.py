@@ -8,6 +8,8 @@ seconds, which is the quantity the paper reasons about in Section 6.
 
 from __future__ import annotations
 
+from repro.sync import Mutex
+
 
 class SimClock:
     """Monotonic simulated clock measured in seconds.
@@ -29,6 +31,9 @@ class SimClock:
         self._now = float(start)
         self._deadline: float | None = None
         self._on_deadline = None  # Callable[[], None] | None
+        # Concurrent sessions advance the clock from many threads; the
+        # single-threaded chaos paths see only an uncontended acquire.
+        self._mutex = Mutex()
 
     @property
     def now(self) -> float:
@@ -39,27 +44,30 @@ class SimClock:
         """Advance the clock by ``seconds`` and return the new time."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time {seconds}")
-        self._now += seconds
-        if self._deadline is not None and self._now >= self._deadline:
-            callback = self._on_deadline
-            self.disarm()
-            callback()
-        return self._now
+        with self._mutex:
+            self._now += seconds
+            if self._deadline is not None and self._now >= self._deadline:
+                callback = self._on_deadline
+                self.disarm()
+                callback()
+            return self._now
 
     def arm(self, deadline: float, callback) -> None:  # noqa: ANN001
         """Arm ``callback`` to fire at the first advance reaching
         ``deadline``.  Only one deadline may be armed at a time."""
-        if self._on_deadline is not None:
-            raise ValueError("a clock deadline is already armed")
-        if callback is None:
-            raise ValueError("deadline callback must be callable")
-        self._deadline = float(deadline)
-        self._on_deadline = callback
+        with self._mutex:
+            if self._on_deadline is not None:
+                raise ValueError("a clock deadline is already armed")
+            if callback is None:
+                raise ValueError("deadline callback must be callable")
+            self._deadline = float(deadline)
+            self._on_deadline = callback
 
     def disarm(self) -> None:
         """Cancel the armed deadline, if any."""
-        self._deadline = None
-        self._on_deadline = None
+        with self._mutex:
+            self._deadline = None
+            self._on_deadline = None
 
     @property
     def armed(self) -> bool:

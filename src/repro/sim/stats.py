@@ -10,22 +10,27 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterator
 
+from repro.sync import Mutex
+
 
 class Stats:
     """A named bag of monotonically increasing counters, plus
     high-water-mark gauges (:meth:`note_max`) for quantities that are
     observed rather than accumulated — e.g. the peak number of pending
-    restore pages during a chaos run."""
+    restore pages during a chaos run.  Counter updates are atomic, so
+    concurrent sessions never lose increments."""
 
     def __init__(self) -> None:
         self._counters: Counter[str] = Counter()
         self._maxima: dict[str, int] = {}
+        self._mutex = Mutex()
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increase counter ``name`` by ``amount``."""
         if amount < 0:
             raise ValueError("counters only increase")
-        self._counters[name] += amount
+        with self._mutex:
+            self._counters[name] += amount
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never bumped)."""
@@ -33,8 +38,9 @@ class Stats:
 
     def note_max(self, name: str, value: int) -> None:
         """Record ``value`` for gauge ``name`` if it is a new maximum."""
-        if value > self._maxima.get(name, value - 1):
-            self._maxima[name] = value
+        with self._mutex:
+            if value > self._maxima.get(name, value - 1):
+                self._maxima[name] = value
 
     def get_max(self, name: str) -> int:
         """High-water mark of gauge ``name`` (0 if never noted)."""
@@ -42,7 +48,8 @@ class Stats:
 
     def snapshot(self) -> dict[str, int]:
         """A copy of all counters, for diffing before/after a phase."""
-        return dict(self._counters)
+        with self._mutex:
+            return dict(self._counters)
 
     def delta(self, before: dict[str, int]) -> dict[str, int]:
         """Counters changed since ``before`` (a prior :meth:`snapshot`)."""
@@ -55,11 +62,13 @@ class Stats:
 
     def reset(self) -> None:
         """Zero out all counters and gauges."""
-        self._counters.clear()
-        self._maxima.clear()
+        with self._mutex:
+            self._counters.clear()
+            self._maxima.clear()
 
     def __iter__(self) -> Iterator[tuple[str, int]]:
-        return iter(sorted(self._counters.items()))
+        with self._mutex:
+            return iter(sorted(self._counters.items()))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{k}={v}" for k, v in self)

@@ -25,6 +25,7 @@ from repro.sim.iomodel import IOProfile
 from repro.sim.stats import Stats
 from repro.storage.badblocks import BadBlockList
 from repro.storage.faults import FaultInjector
+from repro.sync import Mutex
 
 
 class DeviceReadError(StorageError):
@@ -84,6 +85,10 @@ class StorageDevice:
         self.bad_blocks = BadBlockList()
         self._failed = False
         self._last_sector_touched = -1
+        # Serializes page I/O, remapping, and fault application so a
+        # concurrently injected fault never interleaves with a read's
+        # byte copy (torn pages come from the injector, not from races).
+        self._mutex = Mutex()
 
     # ------------------------------------------------------------------
     # Address translation
@@ -106,12 +111,13 @@ class StorageDevice:
         spare pool) absent.  Returns the new physical sector.  The
         caller is responsible for re-writing the page contents.
         """
-        old = self.sector_of(page_id)
-        new = self._allocate_spare()
-        self.bad_blocks.add(old, reason, self.clock.now)
-        self._l2p[page_id] = new
-        self.stats.bump("device_remaps")
-        return new
+        with self._mutex:
+            old = self.sector_of(page_id)
+            new = self._allocate_spare()
+            self.bad_blocks.add(old, reason, self.clock.now)
+            self._l2p[page_id] = new
+            self.stats.bump("device_remaps")
+            return new
 
     def _allocate_spare(self) -> int:
         while self._next_spare < self._num_sectors:
@@ -147,35 +153,37 @@ class StorageDevice:
         Detection of such corruption is the job of the layer above
         (checksums, plausibility checks, PageLSN cross-check).
         """
-        self._ensure_alive()
-        sector = self.sector_of(page_id)
-        self._charge_read(sector)
-        stored = self._sectors[sector]
-        if stored is None:
-            # Never-written page reads back as zeroes (like a fresh device).
-            data = bytearray(self.page_size)
-        else:
-            data = bytearray(stored)
-        if not self.injector.on_read(sector, data):
-            self.stats.bump("device_read_errors")
-            raise DeviceReadError(self.name, page_id, sector)
-        return data
+        with self._mutex:
+            self._ensure_alive()
+            sector = self.sector_of(page_id)
+            self._charge_read(sector)
+            stored = self._sectors[sector]
+            if stored is None:
+                # Never-written page reads back as zeroes (fresh device).
+                data = bytearray(self.page_size)
+            else:
+                data = bytearray(stored)
+            if not self.injector.on_read(sector, data):
+                self.stats.bump("device_read_errors")
+                raise DeviceReadError(self.name, page_id, sector)
+            return data
 
     def write(self, page_id: int, data: bytes | bytearray,
               sequential: bool = False) -> None:
         """Write a logical page, with optional proof-reading."""
-        self._ensure_alive()
-        if len(data) != self.page_size:
-            raise ValueError(f"write of {len(data)} bytes to "
-                             f"{self.page_size}-byte pages")
-        sector = self.sector_of(page_id)
-        self._charge_write(sector, sequential)
-        apply, target = self.injector.before_write(sector)
-        if apply:
-            self._sectors[target] = bytes(data)
-        self.injector.after_write(sector)
-        if self.proof_read:
-            self._proof_read(page_id, bytes(data))
+        with self._mutex:
+            self._ensure_alive()
+            if len(data) != self.page_size:
+                raise ValueError(f"write of {len(data)} bytes to "
+                                 f"{self.page_size}-byte pages")
+            sector = self.sector_of(page_id)
+            self._charge_write(sector, sequential)
+            apply, target = self.injector.before_write(sector)
+            if apply:
+                self._sectors[target] = bytes(data)
+            self.injector.after_write(sector)
+            if self.proof_read:
+                self._proof_read(page_id, bytes(data))
 
     def _proof_read(self, page_id: int, expected: bytes) -> None:
         """Read back a just-written page; remap and retry on mismatch.
@@ -240,16 +248,19 @@ class StorageDevice:
         """Schedulable fault hook: apply ``kind`` to a *logical* page,
         translating to the current physical sector (and the victim's,
         for misdirected writes)."""
-        victim = None if victim_page is None else self.sector_of(victim_page)
-        self.injector.apply_fault(kind, self.sector_of(page_id),
-                                  victim=victim, nbits=nbits, count=count)
+        with self._mutex:
+            victim = (None if victim_page is None
+                      else self.sector_of(victim_page))
+            self.injector.apply_fault(kind, self.sector_of(page_id),
+                                      victim=victim, nbits=nbits, count=count)
 
     # ------------------------------------------------------------------
     # Raw access for composite devices and backups (no fault injection)
     # ------------------------------------------------------------------
     def raw_image(self, page_id: int) -> bytes | None:
         """Current stored bytes of a page, bypassing faults and costs."""
-        return self._sectors[self.sector_of(page_id)]
+        with self._mutex:
+            return self._sectors[self.sector_of(page_id)]
 
     def size_bytes(self) -> int:
         return self.capacity_pages * self.page_size

@@ -9,6 +9,7 @@ behaviour and so that deadlock-induced aborts exercise the
 from __future__ import annotations
 
 from repro.errors import DeadlockError, TransactionError
+from repro.sync import Mutex
 
 
 class LockConflict(TransactionError):
@@ -29,6 +30,10 @@ class LockManager:
         self._holders: dict[bytes, int] = {}
         self._held_by_txn: dict[int, set[bytes]] = {}
         self._waits_for: dict[int, int] = {}
+        #: guards the three maps; conflicts are raised, not parked, so
+        #: the mutex is only ever held for the map lookups themselves
+        #: (plus a conflict-resolver rollback, which re-enters)
+        self._mutex = Mutex()
         #: instant restart: called with a conflicting holder's txn id;
         #: returns True if the holder was a pending loser transaction
         #: that has now been rolled back (the requester retries)
@@ -43,26 +48,27 @@ class LockManager:
         Otherwise the conflict registers a wait-for edge; if that edge
         closes a cycle the requester is chosen as the deadlock victim
         (:class:`DeadlockError`), otherwise a :class:`LockConflict` is
-        raised for the caller to retry (this simulation has no blocking
-        threads to park).
+        raised for the caller to retry — threads never park inside the
+        lock manager, so cross-thread waits cannot deadlock here.
         """
-        while True:
-            holder = self._holders.get(key)
-            if holder is None:
-                self._holders[key] = txn_id
-                self._held_by_txn.setdefault(txn_id, set()).add(key)
-                return
-            if holder == txn_id:
-                return
-            if (self.conflict_resolver is not None
-                    and self.conflict_resolver(holder)):
-                continue  # the loser in the way is gone; retry
-            self._waits_for[txn_id] = holder
-            if self._has_cycle(txn_id):
+        with self._mutex:
+            while True:
+                holder = self._holders.get(key)
+                if holder is None:
+                    self._holders[key] = txn_id
+                    self._held_by_txn.setdefault(txn_id, set()).add(key)
+                    return
+                if holder == txn_id:
+                    return
+                if (self.conflict_resolver is not None
+                        and self.conflict_resolver(holder)):
+                    continue  # the loser in the way is gone; retry
+                self._waits_for[txn_id] = holder
+                if self._has_cycle(txn_id):
+                    del self._waits_for[txn_id]
+                    raise DeadlockError(txn_id, f"deadlock on key {key!r}")
                 del self._waits_for[txn_id]
-                raise DeadlockError(txn_id, f"deadlock on key {key!r}")
-            del self._waits_for[txn_id]
-            raise LockConflict(txn_id, key, holder)
+                raise LockConflict(txn_id, key, holder)
 
     def _has_cycle(self, start: int) -> bool:
         seen = set()
@@ -77,14 +83,22 @@ class LockManager:
         return False
 
     def release_all(self, txn_id: int) -> None:
-        """Release every lock held by ``txn_id`` (end of transaction)."""
-        for key in self._held_by_txn.pop(txn_id, set()):
-            if self._holders.get(key) == txn_id:
-                del self._holders[key]
-        self._waits_for.pop(txn_id, None)
+        """Release every lock held by ``txn_id`` (end of transaction).
+
+        Safe from any thread — aborting a transaction that ran on a
+        different worker releases its locks atomically, so a retrying
+        waiter on another thread either sees the old holder or none.
+        """
+        with self._mutex:
+            for key in self._held_by_txn.pop(txn_id, set()):
+                if self._holders.get(key) == txn_id:
+                    del self._holders[key]
+            self._waits_for.pop(txn_id, None)
 
     def holder_of(self, key: bytes) -> int | None:
-        return self._holders.get(key)
+        with self._mutex:
+            return self._holders.get(key)
 
     def locks_held(self, txn_id: int) -> set[bytes]:
-        return set(self._held_by_txn.get(txn_id, set()))
+        with self._mutex:
+            return set(self._held_by_txn.get(txn_id, set()))

@@ -30,6 +30,7 @@ from typing import Callable, Iterator, Protocol
 from repro.errors import TransactionError
 from repro.page.page import Page
 from repro.sim.stats import Stats
+from repro.sync import Mutex
 from repro.txn.transaction import Transaction, TxnState
 from repro.wal.log_manager import LogManager
 from repro.wal.lsn import NULL_LSN
@@ -67,6 +68,9 @@ class TransactionManager:
         self.stats = stats
         self._next_txn_id = 1
         self.active: dict[int, Transaction] = {}
+        #: guards transaction identity and the active-set registry so
+        #: concurrent sessions can begin/finish without losing entries
+        self._mutex = Mutex()
         #: called with each finished txn id (lock release etc.)
         self.on_finish: Callable[[Transaction], None] | None = None
         self._commit_batch: list[int] | None = None
@@ -75,18 +79,27 @@ class TransactionManager:
     # Lifecycle
     # ------------------------------------------------------------------
     def begin(self, system: bool = False) -> Transaction:
-        txn = Transaction(self._next_txn_id, is_system=system)
-        self._next_txn_id += 1
-        self.active[txn.txn_id] = txn
+        with self._mutex:
+            txn = Transaction(self._next_txn_id, is_system=system)
+            self._next_txn_id += 1
+            self.active[txn.txn_id] = txn
         self.stats.bump("system_txns_started" if system else "user_txns_started")
         return txn
 
     def restore_txn_id_floor(self, floor: int) -> None:
         """After restart recovery, never reuse pre-crash txn ids."""
-        self._next_txn_id = max(self._next_txn_id, floor + 1)
+        with self._mutex:
+            self._next_txn_id = max(self._next_txn_id, floor + 1)
 
-    def commit(self, txn: Transaction) -> int:
-        """Commit; returns the commit record's LSN."""
+    def commit(self, txn: Transaction, defer_force: bool = False) -> int:
+        """Commit; returns the commit record's LSN.
+
+        With ``defer_force`` the commit record is appended but the
+        durability force is left to the caller — :class:`repro.engine.
+        session.Session` uses this to append under the engine latch
+        and then wait on the cross-thread group-commit barrier with no
+        latch held, so riders never block writers.
+        """
         self._require_active(txn)
         kind = LogRecordKind.SYS_COMMIT if txn.is_system else LogRecordKind.COMMIT
         record = LogRecord(kind, txn_id=txn.txn_id, prev_lsn=txn.last_lsn)
@@ -97,7 +110,7 @@ class TransactionManager:
                 # Group commit: the force is deferred to the end of the
                 # batch; this commit's durability rides with it.
                 self._commit_batch.append(lsn)
-            else:
+            elif not defer_force:
                 # Durability: user commits force the log.  The force
                 # also hardens any earlier system-transaction commits
                 # ("prior to or with the commit record of any dependent
@@ -155,7 +168,8 @@ class TransactionManager:
                 f"transaction {txn.txn_id} is {txn.state.value}")
 
     def _finish(self, txn: Transaction) -> None:
-        self.active.pop(txn.txn_id, None)
+        with self._mutex:
+            self.active.pop(txn.txn_id, None)
         if self.on_finish is not None:
             self.on_finish(txn)
 

@@ -32,10 +32,14 @@ sequential-write cost to the simulated clock.
 
 from __future__ import annotations
 
+import threading
+import time
+
 from repro.errors import LogError
 from repro.sim.clock import SimClock
 from repro.sim.iomodel import IOProfile
 from repro.sim.stats import Stats
+from repro.sync import ConditionMutex
 from repro.wal.lsn import LOG_START, NULL_LSN
 from repro.wal.records import LogRecord, LogRecordKind
 from repro.wal.segments import DEFAULT_SEGMENT_BYTES, SegmentDirectory
@@ -73,6 +77,26 @@ class LogManager:
         #: LSN of the most recent CHECKPOINT_END record; modelled as the
         #: log's "master record", which survives crashes.
         self.master_checkpoint_lsn = NULL_LSN
+        #: one mutex guards every append/force/truncate/crash mutation;
+        #: it doubles as the cross-thread commit barrier's condition
+        self._mutex = ConditionMutex()
+        #: cross-thread group commit (enabled by ``Database.session()``):
+        #: a committing thread becomes the *group leader* — it opens a
+        #: short commit window, then forces the whole buffered tail in
+        #: one write; concurrent committers become *riders*, blocking on
+        #: the barrier until a force covers their commit LSN.  Off (the
+        #: default), :meth:`commit_force` is the single-threaded path,
+        #: byte-identical to the pre-concurrency engine.
+        self.cross_thread_commit = False
+        #: real seconds a group leader waits for riders to enqueue
+        self.commit_window_seconds = 0.0
+        self._force_leader_active = False
+        #: window gating: the commit window only pays off once a second
+        #: thread has ever committed — a strictly single-threaded phase
+        #: (maintenance, recovery drains, benchmarks' 1-thread point)
+        #: must never sleep per commit
+        self._commit_thread_ident: int | None = None
+        self._multi_committer = False
 
     # ------------------------------------------------------------------
     # Appending and forcing
@@ -100,17 +124,18 @@ class LogManager:
     def append(self, record: LogRecord) -> int:
         """Assign an LSN, buffer the record, and return the LSN."""
         encoded = record.encode()
-        lsn = self._next_lsn
-        record.lsn = lsn
-        self._dir.append(lsn, record, len(encoded))
-        self._next_lsn = lsn + len(encoded)
-        if record.page_id >= 0 and record.kind in _CHAIN_KINDS:
-            if record.kind == LogRecordKind.FORMAT_PAGE:
-                self._format_displaced[lsn] = self._chain_heads.get(
-                    record.page_id, NULL_LSN)
-            self._chain_heads[record.page_id] = lsn
-        elif record.kind == LogRecordKind.BACKUP_FULL:
-            self._backup_full_lsns[record.backup_id] = lsn
+        with self._mutex:
+            lsn = self._next_lsn
+            record.lsn = lsn
+            self._dir.append(lsn, record, len(encoded))
+            self._next_lsn = lsn + len(encoded)
+            if record.page_id >= 0 and record.kind in _CHAIN_KINDS:
+                if record.kind == LogRecordKind.FORMAT_PAGE:
+                    self._format_displaced[lsn] = self._chain_heads.get(
+                        record.page_id, NULL_LSN)
+                self._chain_heads[record.page_id] = lsn
+            elif record.kind == LogRecordKind.BACKUP_FULL:
+                self._backup_full_lsns[record.backup_id] = lsn
         self.stats.bump("log_records")
         self.stats.bump("log_bytes", len(encoded))
         return lsn
@@ -121,15 +146,17 @@ class LogManager:
         A no-op if the prefix is already durable (group commit).  The
         cost model charges one sequential write for the pending bytes.
         """
-        target = self._next_lsn if up_to_lsn is None else min(
-            max(up_to_lsn, self._durable_lsn), self._next_lsn)
-        if target <= self._durable_lsn:
-            return
-        pending = target - self._durable_lsn
-        self.clock.advance(self.profile.write_cost(pending, sequential=True))
-        self.stats.bump("log_forces")
-        self.stats.bump("log_forced_bytes", pending)
-        self._durable_lsn = target
+        with self._mutex:
+            target = self._next_lsn if up_to_lsn is None else min(
+                max(up_to_lsn, self._durable_lsn), self._next_lsn)
+            if target <= self._durable_lsn:
+                return
+            pending = target - self._durable_lsn
+            self.clock.advance(self.profile.write_cost(pending,
+                                                       sequential=True))
+            self.stats.bump("log_forces")
+            self.stats.bump("log_forced_bytes", pending)
+            self._durable_lsn = target
 
     def commit_force(self, commit_lsn: int) -> None:
         """Force on behalf of a commit record at ``commit_lsn``.
@@ -139,8 +166,17 @@ class LogManager:
         commits, PRI updates, other batched commits — hardens in the
         same sequential write.  A commit whose record is already
         durable costs nothing.
+
+        With :attr:`cross_thread_commit` enabled, concurrent committers
+        share forces through the leader/rider barrier instead (see
+        :meth:`_barrier_commit`); callers must not hold any other
+        engine lock, as riders block until a leader's force covers them.
         """
-        record_end = commit_lsn + (self._dir.size_of(commit_lsn) or 0)
+        with self._mutex:
+            record_end = commit_lsn + (self._dir.size_of(commit_lsn) or 0)
+        if self.cross_thread_commit:
+            self._barrier_commit(record_end)
+            return
         if record_end <= self._durable_lsn:
             return
         if self.group_commit:
@@ -150,6 +186,78 @@ class LogManager:
             self.force()
         else:
             self.force(record_end)
+
+    def enable_cross_thread_commit(self, window_seconds: float = 0.0) -> None:
+        """Switch :meth:`commit_force` to the leader/rider barrier.
+
+        Called once per session creation; a second *thread* creating a
+        session arms the commit window up front.  Arming it before the
+        first contended commit matters: if early commits force without
+        a window, the committers phase-lock into alternating cohorts
+        and steady-state amortization permanently halves.
+        """
+        self.cross_thread_commit = True
+        self.commit_window_seconds = window_seconds
+        ident = threading.get_ident()
+        with self._mutex:
+            if self._commit_thread_ident is None:
+                self._commit_thread_ident = ident
+            elif ident != self._commit_thread_ident:
+                self._multi_committer = True
+
+    def _barrier_commit(self, record_end: int) -> None:
+        """The cross-thread group-commit barrier.
+
+        The first committer to find no force in progress becomes the
+        *group leader*: it opens a commit window (riders append their
+        commit records and join the barrier meanwhile), then forces the
+        whole buffered tail in one sequential write.  A *rider* blocks
+        until a force covers its record, then returns without forcing —
+        its durability rode along.  A rider woken by a force that does
+        not cover it (it appended during the force) takes over as the
+        next leader, so forces-per-commit collapses as the number of
+        committing threads grows.
+        """
+        ident = threading.get_ident()
+        with self._mutex:
+            if self._commit_thread_ident is None:
+                self._commit_thread_ident = ident
+            elif ident != self._commit_thread_ident:
+                self._multi_committer = True
+            rode_along = False
+            while True:
+                if record_end <= self._durable_lsn:
+                    if rode_along:
+                        self.stats.bump("group_commit_riders")
+                    return
+                if not self._force_leader_active:
+                    break
+                rode_along = True
+                self._mutex.wait()
+            self._force_leader_active = True
+            self.stats.bump("group_commit_leads")
+        try:
+            # The window is skipped until a second committing thread
+            # has ever been seen: strictly single-threaded phases
+            # (maintenance, recovery drains) pay no wall-clock tax.
+            if self.commit_window_seconds > 0 and self._multi_committer:
+                time.sleep(self.commit_window_seconds)
+        finally:
+            with self._mutex:
+                try:
+                    rider_bytes = self._next_lsn - record_end
+                    if rider_bytes > 0:
+                        self.stats.bump("group_commit_rider_bytes",
+                                        rider_bytes)
+                    if self.group_commit:
+                        self.force()
+                    else:
+                        self.force(record_end)
+                finally:
+                    # Even a failed force must hand off leadership, or
+                    # every later committer blocks forever.
+                    self._force_leader_active = False
+                    self._mutex.notify_all()
 
     def append_and_force(self, record: LogRecord) -> int:
         lsn = self.append(record)
@@ -161,20 +269,24 @@ class LogManager:
     # ------------------------------------------------------------------
     def record_at(self, lsn: int) -> LogRecord:
         """The record at ``lsn`` (no cost accounting; see LogReader)."""
-        record = self._dir.get(lsn)
+        with self._mutex:
+            record = self._dir.get(lsn)
         if record is None:
             raise LogError(f"no log record at LSN {lsn}")
         return record
 
     def has_record(self, lsn: int) -> bool:
-        return self._dir.get(lsn) is not None
+        with self._mutex:
+            return self._dir.get(lsn) is not None
 
     def records_from(self, start_lsn: int) -> list[LogRecord]:
         """All records with ``lsn >= start_lsn`` in log order."""
-        return list(self._dir.iter_from(start_lsn))
+        with self._mutex:
+            return list(self._dir.iter_from(start_lsn))
 
     def all_records(self) -> list[LogRecord]:
-        return list(self._dir.iter_all())
+        with self._mutex:
+            return list(self._dir.iter_all())
 
     def encoded_size(self) -> int:
         """Total log volume in bytes."""
@@ -189,7 +301,8 @@ class LogManager:
         ``NULL_LSN`` if the page has no retained chain — never updated,
         or its whole chain was truncated away behind a fresh backup.
         """
-        return self._chain_heads.get(page_id, NULL_LSN)
+        with self._mutex:
+            return self._chain_heads.get(page_id, NULL_LSN)
 
     def backup_full_lsn(self, backup_id: int) -> int | None:
         """Log position of the BACKUP_FULL record for ``backup_id``."""
@@ -208,20 +321,22 @@ class LogManager:
         Truncation never crosses the durable boundary backwards and
         keeps the master checkpoint record.
         """
-        limit = min(before_lsn, self._durable_lsn or before_lsn)
-        if self.master_checkpoint_lsn:
-            limit = min(limit, self.master_checkpoint_lsn)
-        removed = self._dir.truncate_below(limit)
-        if removed:
-            self._chain_heads = {pid: lsn for pid, lsn
-                                 in self._chain_heads.items() if lsn >= limit}
-            self._format_displaced = {
-                lsn: (head if head >= limit else NULL_LSN)
-                for lsn, head in self._format_displaced.items()
-                if lsn >= limit}
-            self._backup_full_lsns = {
-                bid: lsn for bid, lsn in self._backup_full_lsns.items()
-                if lsn >= limit}
+        with self._mutex:
+            limit = min(before_lsn, self._durable_lsn or before_lsn)
+            if self.master_checkpoint_lsn:
+                limit = min(limit, self.master_checkpoint_lsn)
+            removed = self._dir.truncate_below(limit)
+            if removed:
+                self._chain_heads = {
+                    pid: lsn for pid, lsn
+                    in self._chain_heads.items() if lsn >= limit}
+                self._format_displaced = {
+                    lsn: (head if head >= limit else NULL_LSN)
+                    for lsn, head in self._format_displaced.items()
+                    if lsn >= limit}
+                self._backup_full_lsns = {
+                    bid: lsn for bid, lsn in self._backup_full_lsns.items()
+                    if lsn >= limit}
         self.stats.bump("log_truncations")
         self.stats.bump("log_bytes_truncated", removed)
         return removed
@@ -247,6 +362,14 @@ class LogManager:
         a page's chain head retreats along ``page_prev_lsn`` until it
         lands on a surviving record.
         """
+        self._mutex.acquire()
+        try:
+            self._crash_locked()
+        finally:
+            self._mutex.release()
+        self.stats.bump("log_crashes")
+
+    def _crash_locked(self) -> None:
         floor = self._durable_lsn if self._durable_lsn else LOG_START
         lost = self._dir.discard_from(floor)
         for record in lost:  # newest-first: heads retreat one hop at a time
@@ -270,7 +393,6 @@ class LogManager:
         if self.master_checkpoint_lsn >= self._next_lsn:
             # The checkpoint record itself was never forced; fall back.
             self.master_checkpoint_lsn = NULL_LSN
-        self.stats.bump("log_crashes")
 
     # ------------------------------------------------------------------
     # Convenience constructors used across the engine

@@ -21,6 +21,7 @@ from repro.errors import RecoveryError
 from repro.sim.clock import SimClock
 from repro.sim.iomodel import IOProfile
 from repro.sim.stats import Stats
+from repro.sync import Mutex
 from repro.wal.lsn import LOG_PAGE_SIZE, NULL_LSN, log_page_of
 from repro.wal.log_manager import LogManager
 from repro.wal.records import LogRecord
@@ -39,18 +40,21 @@ class LogReader:
         self._cached: OrderedDict[int, None] = OrderedDict()  # LRU, O(1) touch
         self.pages_read = 0
         self.records_read = 0
+        # Concurrent readers repairing different pages share this cache.
+        self._mutex = Mutex()
 
     def _charge(self, lsn: int) -> None:
-        page = log_page_of(lsn)
-        if page in self._cached:
-            self._cached.move_to_end(page)
-            return
-        self.clock.advance(self.profile.read_cost(LOG_PAGE_SIZE))
-        self.stats.bump("log_page_reads")
-        self.pages_read += 1
-        self._cached[page] = None
-        if len(self._cached) > self.cache_pages:
-            self._cached.popitem(last=False)
+        with self._mutex:
+            page = log_page_of(lsn)
+            if page in self._cached:
+                self._cached.move_to_end(page)
+                return
+            self.clock.advance(self.profile.read_cost(LOG_PAGE_SIZE))
+            self.stats.bump("log_page_reads")
+            self.pages_read += 1
+            self._cached[page] = None
+            if len(self._cached) > self.cache_pages:
+                self._cached.popitem(last=False)
 
     def read(self, lsn: int) -> LogRecord:
         """Read one record, charging for its log page if uncached."""

@@ -217,3 +217,105 @@ class TestClockEviction:
         policy = ClockEviction()
         policy.admitted(1)
         assert policy.choose_victim(lambda _pid: False) is None
+
+
+class TestEvictionUnderPins:
+    """Eviction must skip pinned (and loading) frames and still make
+    progress — and when genuinely everything is pinned, fail crisply
+    instead of livelocking."""
+
+    def test_eviction_skips_pinned_and_makes_progress(self, rig):
+        pool, *_ = rig
+        for page_id in (0, 1, 2):  # pin 3 of the 4 frames
+            pool.fix(page_id)
+        # Fill the last frame and cycle more pages through it: each fix
+        # must evict the single unpinned frame, never a pinned one.
+        for page_id in (3, 4, 5, 6):
+            pool.fix(page_id)
+            pool.unfix(page_id)
+        assert pool.resident(0) and pool.resident(1) and pool.resident(2)
+        assert pool.resident(6)
+        assert len(pool) == 4
+
+    def test_all_pinned_raises_instead_of_livelock(self, rig):
+        pool, *_ = rig
+        for page_id in range(4):
+            pool.fix(page_id)
+        with pytest.raises(BufferPoolError, match="all frames pinned"):
+            pool.fix(5)
+        # The failed fix left no placeholder behind: unpinning one
+        # frame makes the same fix succeed.
+        assert not pool.resident(5)
+        pool.unfix(0)
+        assert pool.fix(5).page_id == 5
+
+    def test_loading_placeholder_not_evictable(self, rig):
+        """A frame whose fetch is still in flight is pinned by its
+        loader, so a concurrent fix on another thread evicts around
+        it rather than discarding the half-loaded frame."""
+        import threading
+
+        pool, device, *_ = rig
+        started = threading.Event()
+        release = threading.Event()
+        inner = pool.fetcher
+
+        def slow_fetch(page_id):
+            if page_id == 7:
+                started.set()
+                release.wait(5)
+            return inner(page_id)
+
+        pool.fetcher = slow_fetch
+        for page_id in (0, 1, 2):
+            pool.fix(page_id)
+            pool.unfix(page_id)
+
+        loader = threading.Thread(target=lambda: (pool.fix(7),
+                                                  pool.unfix(7)))
+        loader.start()
+        assert started.wait(5)
+        # Pool is full (0,1,2 + loading 7). Fixing another page must
+        # evict one of the unpinned frames, not touch the loading one.
+        pool.fix(5)
+        release.set()
+        loader.join(5)
+        assert pool.resident(7)
+        assert pool.resident(5)
+        pool.unfix(5)
+        assert len(pool) == 4
+
+    def test_concurrent_fix_unfix_respects_capacity_and_pins(self, rig):
+        """Hammer fix/unfix from 6 threads over a 4-frame pool: the
+        pool never exceeds capacity, never evicts a pinned frame (no
+        exception escapes), and every thread completes — progress."""
+        import random
+        import threading
+
+        pool, *_ = rig
+        errors: list[BaseException] = []
+
+        def worker(worker_id: int) -> None:
+            rng = random.Random(worker_id)
+            try:
+                for _ in range(200):
+                    page_id = rng.randrange(8)
+                    try:
+                        pool.fix(page_id)
+                    except BufferPoolError:
+                        continue  # transiently all-pinned: acceptable
+                    assert len(pool) <= pool.capacity
+                    pool.unfix(page_id)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors, errors
+        assert len(pool) <= pool.capacity
+        for page_id in range(8):
+            assert pool.pin_count(page_id) == 0

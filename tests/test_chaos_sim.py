@@ -216,6 +216,30 @@ class TestHarnessReproducibility:
         assert capsys.readouterr().out == first
         assert "RESULT PASS" in first
 
+    @pytest.mark.parametrize("restart_mode,restore_mode",
+                             [("eager", "eager"),
+                              ("on_demand", "on_demand")])
+    def test_determinism_survives_concurrency_refactor(
+            self, restart_mode, restore_mode):
+        """Regression guard for the concurrent-engine refactor: the
+        chaos harness stays single-threaded and never arms the
+        cross-thread commit barrier, so ``(seed, config)`` must still
+        expand to bit-identical traces *and* identical engine-visible
+        event counts across two fresh executions — including schedules
+        heavy on crashes and mode-specific lazy recovery.  (CI's
+        chaos-smoke job diffs two whole CLI runs on top of this.)"""
+        config = ChaosConfig(seed=11, n_events=30, shrink=False,
+                             restart_mode=restart_mode,
+                             restore_mode=restore_mode)
+        events = generate_schedule(config)
+        first = execute_schedule(config, events)
+        second = execute_schedule(config, events)
+        assert first.ok, first.violations
+        assert first.trace_text() == second.trace_text()
+        assert first.event_counts == second.event_counts
+        assert first.committed_txns == second.committed_txns
+        assert first.recoveries == second.recoveries
+
 
 class TestDurabilityOracle:
     def test_detects_lost_committed_key(self, db):
