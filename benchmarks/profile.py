@@ -1,0 +1,64 @@
+"""Profile the engine's forward-processing hot path.
+
+Runs a fixed seeded workload (the same operation mix as
+``benchmarks/latency.py``) under :mod:`cProfile` and prints the top-N
+functions by cumulative and by internal time — so perf work starts
+from a measured profile instead of a guess.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile.py [--top N] [--scale full|smoke]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# This file is named ``profile.py``; drop the script directory from the
+# import path before touching cProfile, which imports the *stdlib*
+# ``profile`` module internally and must not find this one.
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path = [p for p in sys.path if os.path.abspath(p or ".") != _HERE]
+sys.modules.pop("profile", None)
+
+import cProfile  # noqa: E402
+import pstats  # noqa: E402
+
+_ROOT = os.path.dirname(_HERE)
+for path in (_ROOT, os.path.join(_ROOT, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from benchmarks.latency import run_probe  # noqa: E402
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    top = 25
+    scale = "full"
+    if "--top" in args:
+        i = args.index("--top")
+        top = int(args[i + 1])
+    if "--scale" in args:
+        i = args.index("--scale")
+        scale = args[i + 1]
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    snapshot = run_probe(scale)
+    profiler.disable()
+
+    print(f"workload: scale={scale} total_ops={snapshot['total_ops']} "
+          f"ops/s={snapshot['ops_per_second']} (under profiler)\n")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs()
+    print(f"=== top {top} by cumulative time ===")
+    stats.sort_stats("cumulative").print_stats(top)
+    print(f"=== top {top} by internal time ===")
+    stats.sort_stats("tottime").print_stats(top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,11 @@ writes a ``BENCH_<tag>.json`` snapshot next to the repo root:
 * **chaos scenario coverage**: a fixed-seed chaos campaign
   (``repro/sim/harness.py``) must cover all five failure-event kinds
   and all four restart x restore mode combinations with the
-  durability oracle clean.
+  durability oracle clean;
+* **per-operation latency** (``benchmarks/latency.py``): p50/p99/p999
+  for insert, lookup and commit plus single-thread ops/s on the
+  free-I/O profile, best-of-5, gated at >= 3x the pre-rewrite
+  throughput — written to its own ``BENCH_latency.json``.
 
 Every probe carries explicit pass criteria; the process exits
 non-zero if any probe fails, so the CI benchmarks job cannot pass
@@ -376,6 +380,25 @@ def main() -> int:
         fh.write("\n")
     print(f"wrote {path}")
     print(json.dumps(concurrency, indent=2))
+
+    # Latency snapshot: wall-clock percentiles live in their own file
+    # for the same reason as the concurrency probe.
+    from benchmarks.latency import check_latency_snapshot, run_best_of
+
+    latency = {
+        "generated_unix": int(time.time()),
+        "python": sys.version.split()[0],
+        "latency": run_best_of("full", repeats=5),
+    }
+    latency_failures = check_latency_snapshot(latency["latency"])
+    latency["probe_failures"] = latency_failures
+    failures = failures + latency_failures
+    path = os.path.join(out_dir, "BENCH_latency.json")
+    with open(path, "w") as fh:
+        json.dump(latency, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {path}")
+    print(json.dumps(latency, indent=2))
 
     if failures:
         print("PROBE FAILURES:", file=sys.stderr)

@@ -98,6 +98,7 @@ class LogShippingMirror:
                 as_of = record.page_lsn if record.page_lsn else record.lsn
                 if page.page_lsn < as_of:
                     page.data[:] = decompress_image(record.image or b"")
+                    page.btree_cache = None
                     if page.page_lsn != as_of:
                         page.page_lsn = as_of
                     applied += 1

@@ -45,7 +45,8 @@ import struct
 from repro.errors import BTreeError
 from repro.page.page import Page, PageType
 from repro.page.slotted import Record, SlottedPage
-from repro.wal.ops import OpDelete, OpInsert, OpSetGhost, OpUpdateValue, PageOp
+from repro.wal.ops import (OpBulkDelete, OpBulkInsert, OpDelete, OpInsert,
+                           OpSetGhost, OpUpdateValue, PageOp)
 
 SLOT_LOW = 0
 SLOT_HIGH = 1
@@ -81,9 +82,16 @@ class BTreeNode:
     structural byte change in the recovery log.
     """
 
+    __slots__ = ("page", "slotted")
+
     def __init__(self, page: Page) -> None:
         self.page = page
         self.slotted = SlottedPage(page)
+        if page.btree_cache is not None:
+            # A cached parse proves the page validated as a B-tree node
+            # since its last byte mutation (every mutator clears the
+            # cache), so the structural checks below can be skipped.
+            return
         if page.page_type not in (PageType.BTREE_BRANCH, PageType.BTREE_LEAF):
             raise BTreeError(
                 f"page {page.page_id} is a {page.page_type.name}, not a B-tree node")
@@ -93,49 +101,76 @@ class BTreeNode:
     # ------------------------------------------------------------------
     # Metadata
     # ------------------------------------------------------------------
+    def _parsed(self) -> tuple:
+        """Bookkeeping records parsed once per page version.
+
+        The parse is cached on the *page* (so it survives across node
+        constructions while the page sits in the buffer pool).  Cache
+        coherence is event-based: every byte mutator — the slotted-page
+        mutation methods, ``OpWriteBytes``, and the full-image restore
+        paths — clears ``page.btree_cache``, so a stale parse can never
+        be observed.  Cache tuple layout::
+
+            (level, flags, prefix, low_fence, high_fence,
+             foster_pid, foster_key)
+        """
+        page = self.page
+        cache = page.btree_cache
+        if cache is not None:
+            return cache
+        slotted = self.slotted
+        low = slotted.read_record(SLOT_LOW)
+        level, flags = _META.unpack_from(low.value, 0)
+        foster = slotted.read_record(SLOT_FOSTER)
+        cache = (level, flags, low.value[_META.size:], low.key,
+                 slotted.record_key(SLOT_HIGH),
+                 decode_pid(foster.value), foster.key)
+        page.btree_cache = cache
+        return cache
+
     @property
     def _meta(self) -> tuple[int, int, bytes]:
-        blob = self.slotted.read_record(SLOT_LOW).value
-        level, flags = _META.unpack_from(blob, 0)
-        return level, flags, blob[_META.size:]
+        parsed = self.page.btree_cache or self._parsed()
+        return parsed[0], parsed[1], parsed[2]
 
     @property
     def level(self) -> int:
-        return self._meta[0]
+        return (self.page.btree_cache or self._parsed())[0]
 
     @property
     def is_leaf(self) -> bool:
-        return self.level == 0
+        return (self.page.btree_cache or self._parsed())[0] == 0
 
     @property
     def high_inf(self) -> bool:
-        return bool(self._meta[1] & FLAG_HIGH_INF)
+        return bool((self.page.btree_cache or self._parsed())[1]
+                    & FLAG_HIGH_INF)
 
     @property
     def prefix(self) -> bytes:
-        return self._meta[2]
+        return (self.page.btree_cache or self._parsed())[2]
 
     @property
     def low_fence(self) -> bytes:
         """Low fence key; ``b""`` doubles as minus infinity."""
-        return self.slotted.record_key(SLOT_LOW)
+        return (self.page.btree_cache or self._parsed())[3]
 
     @property
     def high_fence(self) -> bytes:
         """High fence key; meaningless when :attr:`high_inf` is set."""
-        return self.slotted.record_key(SLOT_HIGH)
+        return (self.page.btree_cache or self._parsed())[4]
 
     @property
     def foster_pid(self) -> int:
-        return decode_pid(self.slotted.read_record(SLOT_FOSTER).value)
+        return (self.page.btree_cache or self._parsed())[5]
 
     @property
     def foster_key(self) -> bytes:
-        return self.slotted.record_key(SLOT_FOSTER)
+        return (self.page.btree_cache or self._parsed())[6]
 
     @property
     def has_foster(self) -> bool:
-        return self.foster_pid != NO_FOSTER
+        return (self.page.btree_cache or self._parsed())[5] != NO_FOSTER
 
     # ------------------------------------------------------------------
     # Data records
@@ -178,18 +213,25 @@ class BTreeNode:
         """Binary search for ``key`` among data records.
 
         Returns ``(index, found)`` where ``index`` is the insert
-        position if not found.
+        position if not found.  The search itself runs inside the
+        slotted page (one pass over the raw buffer, no per-probe
+        record materialization) — this is the innermost loop of every
+        descent.
         """
-        target = self._strip(key)
-        lo, hi = 0, self.nrecs
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self.stored_key(mid) < target:
-                lo = mid + 1
-            else:
-                hi = mid
-        found = lo < self.nrecs and self.stored_key(lo) == target
-        return lo, found
+        prefix = (self.page.btree_cache or self._parsed())[2]
+        if prefix:
+            if not key.startswith(prefix):
+                raise BTreeError(
+                    f"key {key!r} outside node prefix {prefix!r} "
+                    f"(page {self.page.page_id})")
+            target = key[len(prefix):]
+        else:
+            target = key
+        slotted = self.slotted
+        slot = slotted.key_bisect_left(target, DATA_START)
+        found = (slot < slotted.slot_count
+                 and slotted.record_key(slot) == target)
+        return slot - DATA_START, found
 
     def covers(self, key: bytes) -> bool:
         """Is ``key`` within this node's [low, high) fence range?
@@ -266,6 +308,43 @@ class BTreeNode:
         rec = self.slotted.read_record(DATA_START + index)
         return OpDelete(DATA_START + index, rec.key, rec.value, rec.ghost)
 
+    def record_entries(self, start: int, end: int) -> list[tuple[bytes, bytes, bool]]:
+        """(full_key, value, ghost) for data records [start, end).
+
+        One :meth:`SlottedPage.read_record` per record — the split path
+        previously read every moved record three times.
+        """
+        prefix = self.prefix
+        slotted = self.slotted
+        out = []
+        for i in range(DATA_START + start, DATA_START + end):
+            rec = slotted.read_record(i)
+            out.append((prefix + rec.key, rec.value, rec.ghost))
+        return out
+
+    def op_bulk_insert(self, index: int,
+                       entries: list[tuple[bytes, bytes, bool]]) -> PageOp:
+        """One op inserting ``entries`` (full keys) at data slot ``index``."""
+        prefix = self.prefix
+        plen = len(prefix)
+        recs = []
+        for key, value, ghost in entries:
+            if plen and not key.startswith(prefix):
+                raise BTreeError(
+                    f"key {key!r} outside node prefix {prefix!r} "
+                    f"(page {self.page.page_id})")
+            recs.append((key[plen:], value, ghost))
+        return OpBulkInsert(DATA_START + index, tuple(recs))
+
+    def op_bulk_delete(self, start: int, end: int) -> PageOp:
+        """One op removing this node's data records [start, end)."""
+        slotted = self.slotted
+        entries = []
+        for i in range(DATA_START + start, DATA_START + end):
+            rec = slotted.read_record(i)
+            entries.append((rec.key, rec.value, rec.ghost))
+        return OpBulkDelete(DATA_START + start, tuple(entries))
+
     def op_update_value(self, index: int, new_value: bytes) -> PageOp:
         old = self.value(index)
         return OpUpdateValue(DATA_START + index, old, new_value)
@@ -312,14 +391,21 @@ class BTreeNode:
         old_meta = self.slotted.read_record(SLOT_LOW).value
         ops.append(OpUpdateValue(SLOT_LOW, old_meta,
                                  _META.pack(level, flags) + new_prefix))
+        old_entries = []
+        new_entries = []
         for i in range(self.nrecs):
             rec = self.slotted.read_record(DATA_START + i)
             if not (old_prefix + rec.key).startswith(new_prefix):
                 raise BTreeError(
                     f"key {old_prefix + rec.key!r} outside new prefix")
-            ops.append(OpDelete(DATA_START + i, rec.key, rec.value, rec.ghost))
-            ops.append(OpInsert(DATA_START + i, rec.key[extra:], rec.value,
-                                rec.ghost))
+            old_entries.append((rec.key, rec.value, rec.ghost))
+            new_entries.append((rec.key[extra:], rec.value, rec.ghost))
+        if old_entries:
+            # Two bulk ops re-encode the whole run; per-record
+            # delete/insert pairs made adoption cost scale with the
+            # node's record count.
+            ops.append(OpBulkDelete(DATA_START, tuple(old_entries)))
+            ops.append(OpBulkInsert(DATA_START, tuple(new_entries)))
         return ops
 
     @staticmethod

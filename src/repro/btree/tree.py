@@ -432,15 +432,14 @@ class FosterBTree:
                         node.foster_pid if node.has_foster else NO_FOSTER):
                     self._log(sys_txn, foster_page, op)
                 foster_node = BTreeNode(foster_page)
-                # Copy the upper half into the foster child...
-                moving = [(node.full_key(j), node.value(j), node.is_ghost(j))
-                          for j in range(mid, n)]
-                for idx, (k, v, ghost) in enumerate(moving):
-                    self._log(sys_txn, foster_page,
-                              foster_node.op_insert(idx, k, v, ghost))
-                # ... remove it from the foster parent ...
-                for _ in range(n - mid):
-                    self._log(sys_txn, page, node.op_delete(mid))
+                # Copy the upper half into the foster child and remove
+                # it from the foster parent — one bulk op each, so a
+                # split costs two data log records regardless of how
+                # many records move.
+                moving = node.record_entries(mid, n)
+                self._log(sys_txn, foster_page,
+                          foster_node.op_bulk_insert(0, moving))
+                self._log(sys_txn, page, node.op_bulk_delete(mid, n))
                 # ... and link the chain: this node becomes the foster
                 # parent, keeping the chain-high fence (Figure 3).
                 for op in node.ops_set_foster(separator, foster_page.page_id):
@@ -565,11 +564,11 @@ class FosterBTree:
                         node.foster_pid if node.has_foster else NO_FOSTER):
                     self._log(sys_txn, new_page, op)
                 new_node = BTreeNode(new_page)
-                for i in range(node.nrecs):
+                n = node.nrecs
+                if n:
                     self._log(sys_txn, new_page,
-                              new_node.op_insert(i, node.full_key(i),
-                                                 node.value(i),
-                                                 node.is_ghost(i)))
+                              new_node.op_bulk_insert(
+                                  0, node.record_entries(0, n)))
                 self._repoint(sys_txn, pointer, page_id, new_page.page_id)
                 if retain_backup:
                     take_copy = getattr(self.ctx, "take_page_copy", None)

@@ -177,6 +177,7 @@ class SinglePageRecovery:
             if record.kind == LogRecordKind.FULL_PAGE_IMAGE:
                 from repro.wal.records import decompress_image
                 page.data[:] = decompress_image(record.image or b"")
+                page.btree_cache = None
                 page.page_lsn = record.lsn
             elif record.op is not None:
                 record.op.apply_redo(page)

@@ -319,6 +319,7 @@ class Database:
 
         self.log.enable_cross_thread_commit(
             self.config.commit_window_seconds)
+        self.stats.enable_locking()
         return Session(self)
 
     # Convenience single-operation transactions ------------------------

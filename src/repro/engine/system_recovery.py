@@ -259,6 +259,7 @@ def redo_page_records(page: Page, records: list[LogRecord]) -> int:
             as_of = record.page_lsn if record.page_lsn else record.lsn
             if page.page_lsn < as_of:
                 page.data[:] = decompress_image(record.image or b"")
+                page.btree_cache = None
                 if page.page_lsn != as_of:
                     page.page_lsn = as_of
                 applied += 1

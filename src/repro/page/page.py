@@ -35,6 +35,12 @@ HEADER_SIZE = 32
 _HEADER_STRUCT = struct.Struct("<4sIqqBBHI")
 assert _HEADER_STRUCT.size == HEADER_SIZE  # final "I" is 4 reserved bytes
 
+# Precompiled header-field structs: the lsn/update-count accessors run
+# on every logged operation, where struct's format-string cache lookup
+# is measurable.
+_I64 = struct.Struct("<q")
+_U16 = struct.Struct("<H")
+
 #: LSN value meaning "no log record has ever touched this page".
 NULL_LSN = 0
 
@@ -83,7 +89,7 @@ class Page:
     to drive the page-backup policy.
     """
 
-    __slots__ = ("data", "size")
+    __slots__ = ("data", "size", "btree_cache")
 
     def __init__(self, size: int, data: bytes | bytearray | None = None) -> None:
         if size < HEADER_SIZE + 64:
@@ -95,6 +101,10 @@ class Page:
             if len(data) != size:
                 raise ValueError(f"buffer length {len(data)} != page size {size}")
             self.data = bytearray(data)
+        # Slot for a parsed-view cache keyed by page_lsn (see
+        # repro.btree.node.BTreeNode._parsed); owned by the view layer,
+        # the page only guarantees a fresh copy starts empty.
+        self.btree_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -118,23 +128,23 @@ class Page:
     # ------------------------------------------------------------------
     @property
     def page_id(self) -> int:
-        return struct.unpack_from("<q", self.data, 8)[0]
+        return _I64.unpack_from(self.data, 8)[0]
 
     @page_id.setter
     def page_id(self, value: int) -> None:
-        struct.pack_into("<q", self.data, 8, value)
+        _I64.pack_into(self.data, 8, value)
 
     @property
     def page_lsn(self) -> int:
-        return struct.unpack_from("<q", self.data, 16)[0]
+        return _I64.unpack_from(self.data, 16)[0]
 
     @page_lsn.setter
     def page_lsn(self, value: int) -> None:
         """Set the PageLSN and bump the in-page update counter."""
-        struct.pack_into("<q", self.data, 16, value)
-        count = struct.unpack_from("<H", self.data, 26)[0]
+        _I64.pack_into(self.data, 16, value)
+        count = _U16.unpack_from(self.data, 26)[0]
         if count < 0xFFFF:
-            struct.pack_into("<H", self.data, 26, count + 1)
+            _U16.pack_into(self.data, 26, count + 1)
 
     @property
     def page_type(self) -> PageType:

@@ -45,12 +45,24 @@ SLOT_SIZE = 4
 _GHOST_BIT = 0x8000
 _LENGTH_MASK = 0x7FFF
 
+# Precompiled field structs: these accessors run tens of times per
+# engine operation; skipping struct's format-string lookup is free
+# speed.
+_U16 = struct.Struct("<H")
+_SLOT = struct.Struct("<HH")
+
+#: Slots parsed into ``page.btree_cache`` (see repro.btree.node): the
+#: low-fence/high-fence/foster bookkeeping records.  Record mutations at
+#: higher slots cannot change the parsed metadata — the directory shift
+#: never moves slots below the mutation index — so they keep the cache.
+_BTREE_META_SLOTS = 3
+
 
 class PageFullError(ReproError):
     """Not enough contiguous or reclaimable space for an insertion."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Record:
     """A logical record: key, value, and ghost flag."""
 
@@ -72,6 +84,8 @@ class SlottedPage:
     injection on the raw bytes).
     """
 
+    __slots__ = ("page",)
+
     def __init__(self, page: Page) -> None:
         self.page = page
 
@@ -82,30 +96,31 @@ class SlottedPage:
         """Format the body as an empty slotted area."""
         heap_start = HEADER_SIZE + SLOTTED_HEADER_SIZE
         _SLOTTED_HEADER.pack_into(self.page.data, HEADER_SIZE, 0, heap_start, 0, 0)
+        self.page.btree_cache = None
 
     # ------------------------------------------------------------------
     # Header fields
     # ------------------------------------------------------------------
     @property
     def slot_count(self) -> int:
-        return struct.unpack_from("<H", self.page.data, HEADER_SIZE)[0]
+        return _U16.unpack_from(self.page.data, HEADER_SIZE)[0]
 
     def _set_slot_count(self, n: int) -> None:
-        struct.pack_into("<H", self.page.data, HEADER_SIZE, n)
+        _U16.pack_into(self.page.data, HEADER_SIZE, n)
 
     @property
     def heap_end(self) -> int:
-        return struct.unpack_from("<H", self.page.data, HEADER_SIZE + 2)[0]
+        return _U16.unpack_from(self.page.data, HEADER_SIZE + 2)[0]
 
     def _set_heap_end(self, off: int) -> None:
-        struct.pack_into("<H", self.page.data, HEADER_SIZE + 2, off)
+        _U16.pack_into(self.page.data, HEADER_SIZE + 2, off)
 
     @property
     def frag_bytes(self) -> int:
-        return struct.unpack_from("<H", self.page.data, HEADER_SIZE + 4)[0]
+        return _U16.unpack_from(self.page.data, HEADER_SIZE + 4)[0]
 
     def _set_frag_bytes(self, n: int) -> None:
-        struct.pack_into("<H", self.page.data, HEADER_SIZE + 4, n)
+        _U16.pack_into(self.page.data, HEADER_SIZE + 4, n)
 
     # ------------------------------------------------------------------
     # Slot directory
@@ -115,16 +130,16 @@ class SlottedPage:
         return self.page.size - (index + 1) * SLOT_SIZE
 
     def _read_slot(self, index: int) -> tuple[int, int, bool]:
-        pos = self._slot_pos(index)
-        offset, length_flags = struct.unpack_from("<HH", self.page.data, pos)
+        pos = self.page.size - (index + 1) * SLOT_SIZE
+        offset, length_flags = _SLOT.unpack_from(self.page.data, pos)
         return offset, length_flags & _LENGTH_MASK, bool(length_flags & _GHOST_BIT)
 
     def _write_slot(self, index: int, offset: int, length: int, ghost: bool) -> None:
         if length > _LENGTH_MASK:
             raise ValueError(f"record length {length} exceeds slot encoding")
         length_flags = length | (_GHOST_BIT if ghost else 0)
-        struct.pack_into("<HH", self.page.data, self._slot_pos(index),
-                         offset, length_flags)
+        _SLOT.pack_into(self.page.data, self._slot_pos(index),
+                        offset, length_flags)
 
     @property
     def slots_start(self) -> int:
@@ -148,17 +163,42 @@ class SlottedPage:
         """The record in slot ``index`` (ghosts included)."""
         if not 0 <= index < self.slot_count:
             raise IndexError(f"slot {index} out of range")
-        offset, length, ghost = self._read_slot(index)
-        key_len = struct.unpack_from("<H", self.page.data, offset)[0]
-        key = bytes(self.page.data[offset + 2:offset + 2 + key_len])
-        value = bytes(self.page.data[offset + 2 + key_len:offset + length])
-        return Record(key, value, ghost)
+        data = self.page.data
+        offset, length_flags = _SLOT.unpack_from(
+            data, self.page.size - (index + 1) * SLOT_SIZE)
+        length = length_flags & _LENGTH_MASK
+        key_end = offset + 2 + _U16.unpack_from(data, offset)[0]
+        return Record(bytes(data[offset + 2:key_end]),
+                      bytes(data[key_end:offset + length]),
+                      bool(length_flags & _GHOST_BIT))
 
     def record_key(self, index: int) -> bytes:
         """The key in slot ``index`` without materializing the value."""
-        offset, _length, _ghost = self._read_slot(index)
-        key_len = struct.unpack_from("<H", self.page.data, offset)[0]
-        return bytes(self.page.data[offset + 2:offset + 2 + key_len])
+        data = self.page.data
+        offset = _SLOT.unpack_from(
+            data, self.page.size - (index + 1) * SLOT_SIZE)[0]
+        key_len = _U16.unpack_from(data, offset)[0]
+        return bytes(data[offset + 2:offset + 2 + key_len])
+
+    def key_bisect_left(self, target: bytes, start: int) -> int:
+        """First slot in ``[start, slot_count)`` whose key >= ``target``.
+
+        The innermost loop of every B-tree descent: raw buffer reads
+        only, no slot tuples or Record objects per probe.
+        """
+        data = self.page.data
+        size = self.page.size
+        lo = start
+        hi = _U16.unpack_from(data, HEADER_SIZE)[0]
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            offset = _U16.unpack_from(data, size - (mid + 1) * SLOT_SIZE)[0]
+            key_len = _U16.unpack_from(data, offset)[0]
+            if data[offset + 2:offset + 2 + key_len] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
 
     def is_ghost(self, index: int) -> bool:
         _offset, _length, ghost = self._read_slot(index)
@@ -181,6 +221,8 @@ class SlottedPage:
         """Insert ``record`` at slot position ``index``, shifting slots up."""
         if not 0 <= index <= self.slot_count:
             raise IndexError(f"insert position {index} out of range")
+        if index < _BTREE_META_SLOTS:
+            self.page.btree_cache = None
         needed = record.stored_length + SLOT_SIZE
         if self.free_space < needed:
             if self.free_space + self.frag_bytes >= needed:
@@ -190,12 +232,16 @@ class SlottedPage:
                     f"need {needed} bytes, have {self.free_space} "
                     f"(+{self.frag_bytes} fragmented)")
         offset = self._append_to_heap(record)
-        # Shift slot entries [index, slot_count) one position outward.
+        # Shift slot entries [index, slot_count) one position outward —
+        # they are contiguous, so this is a single 4-byte-down block
+        # move (bytearray slice assignment copies the source first, so
+        # the overlap is safe).
         count = self.slot_count
-        for i in range(count, index, -1):
-            src = self._slot_pos(i - 1)
-            dst = self._slot_pos(i)
-            self.page.data[dst:dst + SLOT_SIZE] = self.page.data[src:src + SLOT_SIZE]
+        if count > index:
+            data = self.page.data
+            start = self.page.size - count * SLOT_SIZE
+            end = self.page.size - index * SLOT_SIZE
+            data[start - SLOT_SIZE:end - SLOT_SIZE] = data[start:end]
         self._set_slot_count(count + 1)
         self._write_slot(index, offset, record.stored_length, record.ghost)
 
@@ -212,6 +258,8 @@ class SlottedPage:
 
     def update_value(self, index: int, value: bytes) -> None:
         """Replace the value of the record in slot ``index``."""
+        if index < _BTREE_META_SLOTS:
+            self.page.btree_cache = None
         old = self.read_record(index)
         new = Record(old.key, value, old.ghost)
         offset, length, _ghost = self._read_slot(index)
@@ -240,6 +288,8 @@ class SlottedPage:
 
     def mark_ghost(self, index: int, ghost: bool = True) -> None:
         """Toggle the ghost (pseudo-deleted) bit of slot ``index``."""
+        if index < _BTREE_META_SLOTS:
+            self.page.btree_cache = None
         offset, length, _old = self._read_slot(index)
         self._write_slot(index, offset, length, ghost)
 
@@ -247,14 +297,82 @@ class SlottedPage:
         """Physically remove slot ``index`` (ghost removal / compaction)."""
         if not 0 <= index < self.slot_count:
             raise IndexError(f"slot {index} out of range")
+        if index < _BTREE_META_SLOTS:
+            self.page.btree_cache = None
         _offset, length, _ghost = self._read_slot(index)
         self._set_frag_bytes(self.frag_bytes + length)
+        # Shift slot entries [index + 1, slot_count) one position in —
+        # a single 4-byte-up block move of the contiguous directory.
         count = self.slot_count
-        for i in range(index, count - 1):
-            src = self._slot_pos(i + 1)
-            dst = self._slot_pos(i)
-            self.page.data[dst:dst + SLOT_SIZE] = self.page.data[src:src + SLOT_SIZE]
+        if index < count - 1:
+            data = self.page.data
+            start = self.page.size - count * SLOT_SIZE
+            end = self.page.size - (index + 1) * SLOT_SIZE
+            data[start + SLOT_SIZE:end + SLOT_SIZE] = data[start:end]
         self._set_slot_count(count - 1)
+
+    def insert_run(self, index: int, records: list[Record]) -> None:
+        """Insert ``records`` at consecutive slots starting at ``index``.
+
+        One directory shift covers the whole run, so structural moves
+        (splits, prefix re-encoding) cost one block move instead of one
+        per record.
+        """
+        n = len(records)
+        if n == 0:
+            return
+        if n == 1:
+            self.insert(index, records[0])
+            return
+        count = self.slot_count
+        if not 0 <= index <= count:
+            raise IndexError(f"insert position {index} out of range")
+        if index < _BTREE_META_SLOTS:
+            self.page.btree_cache = None
+        needed = sum(r.stored_length for r in records) + SLOT_SIZE * n
+        if self.free_space < needed:
+            if self.free_space + self.frag_bytes >= needed:
+                self.compact()
+            if self.free_space < needed:
+                raise PageFullError(
+                    f"need {needed} bytes, have {self.free_space} "
+                    f"(+{self.frag_bytes} fragmented)")
+        if count > index:
+            data = self.page.data
+            size = self.page.size
+            start = size - count * SLOT_SIZE
+            end = size - index * SLOT_SIZE
+            shift = n * SLOT_SIZE
+            data[start - shift:end - shift] = data[start:end]
+        self._set_slot_count(count + n)
+        for i, record in enumerate(records):
+            offset = self._append_to_heap(record)
+            self._write_slot(index + i, offset, record.stored_length,
+                             record.ghost)
+
+    def remove_run(self, index: int, n: int) -> None:
+        """Remove ``n`` consecutive slots starting at ``index``."""
+        if n == 0:
+            return
+        count = self.slot_count
+        if n < 0 or not 0 <= index <= count - n:
+            raise IndexError(
+                f"slot run [{index}, {index + n}) out of range")
+        if index < _BTREE_META_SLOTS:
+            self.page.btree_cache = None
+        freed = 0
+        for i in range(index, index + n):
+            _offset, length, _ghost = self._read_slot(i)
+            freed += length
+        self._set_frag_bytes(self.frag_bytes + freed)
+        if index + n < count:
+            data = self.page.data
+            size = self.page.size
+            start = size - count * SLOT_SIZE
+            end = size - (index + n) * SLOT_SIZE
+            shift = n * SLOT_SIZE
+            data[start + shift:end + shift] = data[start:end]
+        self._set_slot_count(count - n)
 
     def compact(self) -> None:
         """Rewrite the heap to reclaim fragmented free space.
@@ -263,6 +381,7 @@ class SlottedPage:
         runs under a system transaction (Section 5.1.5: "compacting a
         page (to reclaim fragmented free space)").
         """
+        self.page.btree_cache = None
         live: list[tuple[int, Record]] = []
         dead: list[int] = []
         for i in range(self.slot_count):

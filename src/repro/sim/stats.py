@@ -17,19 +17,34 @@ class Stats:
     """A named bag of monotonically increasing counters, plus
     high-water-mark gauges (:meth:`note_max`) for quantities that are
     observed rather than accumulated — e.g. the peak number of pending
-    restore pages during a chaos run.  Counter updates are atomic, so
-    concurrent sessions never lose increments."""
+    restore pages during a chaos run.  Counter updates are atomic once
+    :meth:`enable_locking` has armed cross-thread mode, so concurrent
+    sessions never lose increments; until then (the single-threaded
+    simulator path, where ``bump`` is the hottest call in the chaos
+    harness) increments skip the mutex entirely."""
 
     def __init__(self) -> None:
         self._counters: Counter[str] = Counter()
         self._maxima: dict[str, int] = {}
         self._mutex = Mutex()
+        self._locked = False
+
+    def enable_locking(self) -> None:
+        """Arm cross-thread mode: every increment now takes the mutex.
+
+        One-way for the lifetime of this Stats — once sessions from
+        multiple threads may race, increments must stay atomic.
+        """
+        self._locked = True
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increase counter ``name`` by ``amount``."""
         if amount < 0:
             raise ValueError("counters only increase")
-        with self._mutex:
+        if self._locked:
+            with self._mutex:
+                self._counters[name] += amount
+        else:
             self._counters[name] += amount
 
     def get(self, name: str) -> int:

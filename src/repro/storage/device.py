@@ -85,6 +85,10 @@ class StorageDevice:
         self.bad_blocks = BadBlockList()
         self._failed = False
         self._last_sector_touched = -1
+        # Per-device counter names, precomputed: building the f-string
+        # on every I/O showed up in profiles of the free-I/O substrate.
+        self._reads_key = f"device_reads[{name}]"
+        self._writes_key = f"device_writes[{name}]"
         # Serializes page I/O, remapping, and fault application so a
         # concurrently injected fault never interleaves with a read's
         # byte copy (torn pages come from the injector, not from races).
@@ -179,11 +183,14 @@ class StorageDevice:
             sector = self.sector_of(page_id)
             self._charge_write(sector, sequential)
             apply, target = self.injector.before_write(sector)
+            # One immutable snapshot serves both the sector store and
+            # the proof-read comparison.
+            snapshot = bytes(data)
             if apply:
-                self._sectors[target] = bytes(data)
+                self._sectors[target] = snapshot
             self.injector.after_write(sector)
             if self.proof_read:
-                self._proof_read(page_id, bytes(data))
+                self._proof_read(page_id, snapshot)
 
     def _proof_read(self, page_id: int, expected: bytes) -> None:
         """Read back a just-written page; remap and retry on mismatch.
@@ -214,14 +221,14 @@ class StorageDevice:
         self.clock.advance(self.profile.read_cost(self.page_size, sequential))
         self._last_sector_touched = sector
         self.stats.bump("device_reads")
-        self.stats.bump(f"device_reads[{self.name}]")
+        self.stats.bump(self._reads_key)
 
     def _charge_write(self, sector: int, sequential_hint: bool) -> None:
         sequential = sequential_hint or sector == self._last_sector_touched + 1
         self.clock.advance(self.profile.write_cost(self.page_size, sequential))
         self._last_sector_touched = sector
         self.stats.bump("device_writes")
-        self.stats.bump(f"device_writes[{self.name}]")
+        self.stats.bump(self._writes_key)
 
     # ------------------------------------------------------------------
     # Fault-injection conveniences (translate logical -> physical)

@@ -122,13 +122,18 @@ class LogManager:
         return self._dir.segment_count
 
     def append(self, record: LogRecord) -> int:
-        """Assign an LSN, buffer the record, and return the LSN."""
-        encoded = record.encode()
+        """Assign an LSN, buffer the record, and return the LSN.
+
+        Only the record's *size* is needed here (LSNs are byte
+        offsets); the buffered tail holds decoded records, so the
+        append path never materializes the serialized bytes.
+        """
+        size = record.encoded_size()
         with self._mutex:
             lsn = self._next_lsn
             record.lsn = lsn
-            self._dir.append(lsn, record, len(encoded))
-            self._next_lsn = lsn + len(encoded)
+            self._dir.append(lsn, record, size)
+            self._next_lsn = lsn + size
             if record.page_id >= 0 and record.kind in _CHAIN_KINDS:
                 if record.kind == LogRecordKind.FORMAT_PAGE:
                     self._format_displaced[lsn] = self._chain_heads.get(
@@ -137,7 +142,7 @@ class LogManager:
             elif record.kind == LogRecordKind.BACKUP_FULL:
                 self._backup_full_lsns[record.backup_id] = lsn
         self.stats.bump("log_records")
-        self.stats.bump("log_bytes", len(encoded))
+        self.stats.bump("log_bytes", size)
         return lsn
 
     def force(self, up_to_lsn: int | None = None) -> None:

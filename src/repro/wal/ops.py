@@ -20,18 +20,44 @@ from repro.page.page import Page, PageType
 from repro.page.slotted import Record, SlottedPage
 
 
+_U32 = struct.Struct("<I")
+_BHB = struct.Struct("<BHB")
+_BH = struct.Struct("<BH")
+_BHBB = struct.Struct("<BHBB")
+_BB = struct.Struct("<BB")
+_BHI = struct.Struct("<BHI")
+
+
 def _pack_bytes(buf: bytes) -> bytes:
-    return struct.pack("<I", len(buf)) + buf
+    return _U32.pack(len(buf)) + buf
 
 
-def _unpack_bytes(data: bytes, offset: int) -> tuple[bytes, int]:
-    (length,) = struct.unpack_from("<I", data, offset)
+def _unpack_bytes(data, offset: int) -> tuple[bytes, int]:
+    (length,) = _U32.unpack_from(data, offset)
     start = offset + 4
-    return data[start:start + length], start + length
+    end = start + length
+    return bytes(data[start:end]), end
+
+
+def _put_bytes(buf: bytearray, pos: int, payload: bytes) -> int:
+    """Write a length-prefixed byte string into ``buf`` at ``pos``."""
+    _U32.pack_into(buf, pos, len(payload))
+    pos += 4
+    end = pos + len(payload)
+    buf[pos:end] = payload
+    return end
 
 
 class PageOp:
-    """Base class for operations applied to a single page."""
+    """Base class for operations applied to a single page.
+
+    Serialization is allocation-light: every op knows its exact
+    ``encoded_size()`` up front (so the log manager never materializes
+    bytes just to measure a record) and writes itself into a caller-
+    provided buffer via ``encode_into`` (so a whole log record encodes
+    into one preallocated buffer).  Decoding reads at explicit offsets
+    and never slices intermediate copies.
+    """
 
     kind: int = -1
 
@@ -41,26 +67,35 @@ class PageOp:
     def apply_undo(self, page: Page) -> None:
         raise NotImplementedError
 
-    def encode(self) -> bytes:
+    def encoded_size(self) -> int:
         raise NotImplementedError
 
+    def encode_into(self, buf: bytearray, pos: int) -> int:
+        """Serialize into ``buf`` at ``pos``; returns the end offset."""
+        raise NotImplementedError
+
+    def encode(self) -> bytes:
+        buf = bytearray(self.encoded_size())
+        self.encode_into(buf, 0)
+        return bytes(buf)
+
     @staticmethod
-    def decode(data: bytes) -> "PageOp":
-        if not data:
+    def decode(data, offset: int = 0) -> "PageOp":
+        if offset >= len(data):
             raise LogError("empty page-op payload")
-        kind = data[0]
+        kind = data[offset]
         try:
             cls = _OP_REGISTRY[kind]
         except KeyError:
             raise LogError(f"unknown page-op kind {kind}") from None
-        return cls._decode_body(data)
+        return cls._decode_body(data, offset)
 
     @classmethod
-    def _decode_body(cls, data: bytes) -> "PageOp":
+    def _decode_body(cls, data, offset: int) -> "PageOp":
         raise NotImplementedError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpInsert(PageOp):
     """Insert a record at a slot position."""
 
@@ -77,19 +112,23 @@ class OpInsert(PageOp):
     def apply_undo(self, page: Page) -> None:
         SlottedPage(page).remove(self.slot)
 
-    def encode(self) -> bytes:
-        return (struct.pack("<BHB", self.kind, self.slot, int(self.ghost))
-                + _pack_bytes(self.key) + _pack_bytes(self.value))
+    def encoded_size(self) -> int:
+        return 12 + len(self.key) + len(self.value)
+
+    def encode_into(self, buf: bytearray, pos: int) -> int:
+        _BHB.pack_into(buf, pos, self.kind, self.slot, int(self.ghost))
+        pos = _put_bytes(buf, pos + 4, self.key)
+        return _put_bytes(buf, pos, self.value)
 
     @classmethod
-    def _decode_body(cls, data: bytes) -> "OpInsert":
-        _kind, slot, ghost = struct.unpack_from("<BHB", data, 0)
-        key, pos = _unpack_bytes(data, 4)
+    def _decode_body(cls, data, offset: int) -> "OpInsert":
+        _kind, slot, ghost = _BHB.unpack_from(data, offset)
+        key, pos = _unpack_bytes(data, offset + 4)
         value, _pos = _unpack_bytes(data, pos)
         return cls(slot, key, value, bool(ghost))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpDelete(PageOp):
     """Physically remove the record at a slot (stores it for undo)."""
 
@@ -106,19 +145,23 @@ class OpDelete(PageOp):
     def apply_undo(self, page: Page) -> None:
         SlottedPage(page).insert(self.slot, Record(self.key, self.value, self.ghost))
 
-    def encode(self) -> bytes:
-        return (struct.pack("<BHB", self.kind, self.slot, int(self.ghost))
-                + _pack_bytes(self.key) + _pack_bytes(self.value))
+    def encoded_size(self) -> int:
+        return 12 + len(self.key) + len(self.value)
+
+    def encode_into(self, buf: bytearray, pos: int) -> int:
+        _BHB.pack_into(buf, pos, self.kind, self.slot, int(self.ghost))
+        pos = _put_bytes(buf, pos + 4, self.key)
+        return _put_bytes(buf, pos, self.value)
 
     @classmethod
-    def _decode_body(cls, data: bytes) -> "OpDelete":
-        _kind, slot, ghost = struct.unpack_from("<BHB", data, 0)
-        key, pos = _unpack_bytes(data, 4)
+    def _decode_body(cls, data, offset: int) -> "OpDelete":
+        _kind, slot, ghost = _BHB.unpack_from(data, offset)
+        key, pos = _unpack_bytes(data, offset + 4)
         value, _pos = _unpack_bytes(data, pos)
         return cls(slot, key, value, bool(ghost))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpUpdateValue(PageOp):
     """Replace the value of the record at a slot."""
 
@@ -134,19 +177,23 @@ class OpUpdateValue(PageOp):
     def apply_undo(self, page: Page) -> None:
         SlottedPage(page).update_value(self.slot, self.old_value)
 
-    def encode(self) -> bytes:
-        return (struct.pack("<BH", self.kind, self.slot)
-                + _pack_bytes(self.old_value) + _pack_bytes(self.new_value))
+    def encoded_size(self) -> int:
+        return 11 + len(self.old_value) + len(self.new_value)
+
+    def encode_into(self, buf: bytearray, pos: int) -> int:
+        _BH.pack_into(buf, pos, self.kind, self.slot)
+        pos = _put_bytes(buf, pos + 3, self.old_value)
+        return _put_bytes(buf, pos, self.new_value)
 
     @classmethod
-    def _decode_body(cls, data: bytes) -> "OpUpdateValue":
-        _kind, slot = struct.unpack_from("<BH", data, 0)
-        old, pos = _unpack_bytes(data, 3)
+    def _decode_body(cls, data, offset: int) -> "OpUpdateValue":
+        _kind, slot = _BH.unpack_from(data, offset)
+        old, pos = _unpack_bytes(data, offset + 3)
         new, _pos = _unpack_bytes(data, pos)
         return cls(slot, old, new)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpSetGhost(PageOp):
     """Toggle the ghost bit of the record at a slot.
 
@@ -166,17 +213,21 @@ class OpSetGhost(PageOp):
     def apply_undo(self, page: Page) -> None:
         SlottedPage(page).mark_ghost(self.slot, self.old_ghost)
 
-    def encode(self) -> bytes:
-        return struct.pack("<BHBB", self.kind, self.slot,
-                           int(self.old_ghost), int(self.new_ghost))
+    def encoded_size(self) -> int:
+        return 5
+
+    def encode_into(self, buf: bytearray, pos: int) -> int:
+        _BHBB.pack_into(buf, pos, self.kind, self.slot,
+                        int(self.old_ghost), int(self.new_ghost))
+        return pos + 5
 
     @classmethod
-    def _decode_body(cls, data: bytes) -> "OpSetGhost":
-        _kind, slot, old, new = struct.unpack_from("<BHBB", data, 0)
+    def _decode_body(cls, data, offset: int) -> "OpSetGhost":
+        _kind, slot, old, new = _BHBB.unpack_from(data, offset)
         return cls(slot, bool(old), bool(new))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpWriteBytes(PageOp):
     """Raw byte-range write within a page (header fields, fences...).
 
@@ -197,24 +248,30 @@ class OpWriteBytes(PageOp):
     def apply_redo(self, page: Page) -> None:
         end = self.offset + len(self.new_bytes)
         page.data[self.offset:end] = self.new_bytes
+        page.btree_cache = None
 
     def apply_undo(self, page: Page) -> None:
         end = self.offset + len(self.old_bytes)
         page.data[self.offset:end] = self.old_bytes
+        page.btree_cache = None
 
-    def encode(self) -> bytes:
-        return (struct.pack("<BH", self.kind, self.offset)
-                + _pack_bytes(self.old_bytes) + _pack_bytes(self.new_bytes))
+    def encoded_size(self) -> int:
+        return 11 + len(self.old_bytes) + len(self.new_bytes)
+
+    def encode_into(self, buf: bytearray, pos: int) -> int:
+        _BH.pack_into(buf, pos, self.kind, self.offset)
+        pos = _put_bytes(buf, pos + 3, self.old_bytes)
+        return _put_bytes(buf, pos, self.new_bytes)
 
     @classmethod
-    def _decode_body(cls, data: bytes) -> "OpWriteBytes":
-        _kind, offset = struct.unpack_from("<BH", data, 0)
-        old, pos = _unpack_bytes(data, 3)
+    def _decode_body(cls, data, offset: int) -> "OpWriteBytes":
+        _kind, byte_offset = _BH.unpack_from(data, offset)
+        old, pos = _unpack_bytes(data, offset + 3)
         new, _pos = _unpack_bytes(data, pos)
-        return cls(offset, old, new)
+        return cls(byte_offset, old, new)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpInitSlotted(PageOp):
     """Format a page as an empty slotted page of a given type.
 
@@ -238,16 +295,109 @@ class OpInitSlotted(PageOp):
         # individual operations: they roll forward or vanish entirely.
         raise LogError("page formatting cannot be undone")
 
-    def encode(self) -> bytes:
-        return struct.pack("<BB", self.kind, int(self.page_type))
+    def encoded_size(self) -> int:
+        return 2
+
+    def encode_into(self, buf: bytearray, pos: int) -> int:
+        _BB.pack_into(buf, pos, self.kind, int(self.page_type))
+        return pos + 2
 
     @classmethod
-    def _decode_body(cls, data: bytes) -> "OpInitSlotted":
-        _kind, ptype = struct.unpack_from("<BB", data, 0)
+    def _decode_body(cls, data, offset: int) -> "OpInitSlotted":
+        _kind, ptype = _BB.unpack_from(data, offset)
         return cls(PageType(ptype))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
+class OpBulkInsert(PageOp):
+    """Insert a run of records at consecutive slots.
+
+    Structural maintenance (splits, prefix re-encoding) moves dozens of
+    records in one system transaction; carrying the run in a single
+    operation keeps the log-record count proportional to structural
+    events rather than to records moved, and applies with one slot-
+    directory shift.
+    """
+
+    slot: int
+    records: tuple[tuple[bytes, bytes, bool], ...]  #: (key, value, ghost)
+
+    kind = 7
+
+    def apply_redo(self, page: Page) -> None:
+        SlottedPage(page).insert_run(
+            self.slot, [Record(k, v, g) for k, v, g in self.records])
+
+    def apply_undo(self, page: Page) -> None:
+        SlottedPage(page).remove_run(self.slot, len(self.records))
+
+    def encoded_size(self) -> int:
+        return 7 + sum(9 + len(k) + len(v) for k, v, _g in self.records)
+
+    def encode_into(self, buf: bytearray, pos: int) -> int:
+        _BHI.pack_into(buf, pos, self.kind, self.slot, len(self.records))
+        pos += 7
+        for key, value, ghost in self.records:
+            buf[pos] = int(ghost)
+            pos = _put_bytes(buf, pos + 1, key)
+            pos = _put_bytes(buf, pos, value)
+        return pos
+
+    @classmethod
+    def _decode_body(cls, data, offset: int) -> "OpBulkInsert":
+        _kind, slot, count = _BHI.unpack_from(data, offset)
+        pos = offset + 7
+        records = []
+        for _ in range(count):
+            ghost = bool(data[pos])
+            key, pos = _unpack_bytes(data, pos + 1)
+            value, pos = _unpack_bytes(data, pos)
+            records.append((key, value, ghost))
+        return cls(slot, tuple(records))
+
+
+@dataclass(frozen=True, slots=True)
+class OpBulkDelete(PageOp):
+    """Remove a run of consecutive slots (stores the records for undo)."""
+
+    slot: int
+    records: tuple[tuple[bytes, bytes, bool], ...]  #: (key, value, ghost)
+
+    kind = 8
+
+    def apply_redo(self, page: Page) -> None:
+        SlottedPage(page).remove_run(self.slot, len(self.records))
+
+    def apply_undo(self, page: Page) -> None:
+        SlottedPage(page).insert_run(
+            self.slot, [Record(k, v, g) for k, v, g in self.records])
+
+    def encoded_size(self) -> int:
+        return 7 + sum(9 + len(k) + len(v) for k, v, _g in self.records)
+
+    def encode_into(self, buf: bytearray, pos: int) -> int:
+        _BHI.pack_into(buf, pos, self.kind, self.slot, len(self.records))
+        pos += 7
+        for key, value, ghost in self.records:
+            buf[pos] = int(ghost)
+            pos = _put_bytes(buf, pos + 1, key)
+            pos = _put_bytes(buf, pos, value)
+        return pos
+
+    @classmethod
+    def _decode_body(cls, data, offset: int) -> "OpBulkDelete":
+        _kind, slot, count = _BHI.unpack_from(data, offset)
+        pos = offset + 7
+        records = []
+        for _ in range(count):
+            ghost = bool(data[pos])
+            key, pos = _unpack_bytes(data, pos + 1)
+            value, pos = _unpack_bytes(data, pos)
+            records.append((key, value, ghost))
+        return cls(slot, tuple(records))
+
+
+@dataclass(frozen=True, slots=True)
 class OpInverse(PageOp):
     """The inverse of another operation, as a redo-only op.
 
@@ -266,16 +416,21 @@ class OpInverse(PageOp):
     def apply_undo(self, page: Page) -> None:
         raise LogError("compensation operations are never undone")
 
-    def encode(self) -> bytes:
-        return bytes([self.kind]) + self.original.encode()
+    def encoded_size(self) -> int:
+        return 1 + self.original.encoded_size()
+
+    def encode_into(self, buf: bytearray, pos: int) -> int:
+        buf[pos] = self.kind
+        return self.original.encode_into(buf, pos + 1)
 
     @classmethod
-    def _decode_body(cls, data: bytes) -> "OpInverse":
-        return cls(PageOp.decode(data[1:]))
+    def _decode_body(cls, data, offset: int) -> "OpInverse":
+        return cls(PageOp.decode(data, offset + 1))
 
 
 _OP_REGISTRY: dict[int, type[PageOp]] = {
     cls.kind: cls
     for cls in (OpInsert, OpDelete, OpUpdateValue, OpSetGhost,
-                OpWriteBytes, OpInitSlotted, OpInverse)
+                OpWriteBytes, OpInitSlotted, OpBulkInsert, OpBulkDelete,
+                OpInverse)
 }

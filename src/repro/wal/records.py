@@ -24,10 +24,17 @@ import zlib
 from dataclasses import dataclass, field
 
 from repro.errors import LogError
-from repro.wal.ops import PageOp, _pack_bytes, _unpack_bytes
+from repro.wal.ops import PageOp, _put_bytes, _unpack_bytes
 
 _HEADER = struct.Struct("<IBqqqqq")
 HEADER_SIZE = _HEADER.size
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_QQ = struct.Struct("<qq")
+_QQB = struct.Struct("<qqB")
+_QBQ = struct.Struct("<qBq")
+_III = struct.Struct("<III")
 
 
 class LogRecordKind(enum.IntEnum):
@@ -58,7 +65,7 @@ class BackupRefKind(enum.IntEnum):
     FORMAT_RECORD = 4  #: formatting log record; value = its LSN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BackupRef:
     """Reference to a page backup image (one of Figure 7's alternatives)."""
 
@@ -96,7 +103,7 @@ class UndoAction(enum.IntEnum):
     RESTORE_VALUE = 3  #: compensate an update
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogicalUndo:
     """Key-level undo information carried by user-transaction updates."""
 
@@ -104,9 +111,18 @@ class LogicalUndo:
     key: bytes
     value: bytes = b""
 
+    def encoded_size(self) -> int:
+        return 9 + len(self.key) + len(self.value)
+
+    def encode_into(self, buf: bytearray, pos: int) -> int:
+        buf[pos] = int(self.action)
+        pos = _put_bytes(buf, pos + 1, self.key)
+        return _put_bytes(buf, pos, self.value)
+
     def encode(self) -> bytes:
-        return (struct.pack("<B", int(self.action))
-                + _pack_bytes(self.key) + _pack_bytes(self.value))
+        buf = bytearray(self.encoded_size())
+        self.encode_into(buf, 0)
+        return bytes(buf)
 
     @classmethod
     def decode(cls, data: bytes, offset: int) -> tuple["LogicalUndo", int]:
@@ -116,7 +132,7 @@ class LogicalUndo:
         return cls(action, key, value), pos
 
 
-@dataclass
+@dataclass(slots=True)
 class CheckpointData:
     """Payload of a CHECKPOINT_END record.
 
@@ -131,40 +147,53 @@ class CheckpointData:
     active_txns: list[tuple[int, int, bool]] = field(default_factory=list)
     pri_images: dict[int, int] = field(default_factory=dict)
 
-    def encode(self) -> bytes:
-        out = [struct.pack("<III", len(self.dirty_pages),
-                           len(self.active_txns), len(self.pri_images))]
+    def encoded_size(self) -> int:
+        return (12 + 16 * len(self.dirty_pages)
+                + 17 * len(self.active_txns) + 16 * len(self.pri_images))
+
+    def encode_into(self, buf: bytearray, pos: int) -> int:
+        _III.pack_into(buf, pos, len(self.dirty_pages),
+                       len(self.active_txns), len(self.pri_images))
+        pos += 12
         for page_id, rec_lsn in sorted(self.dirty_pages.items()):
-            out.append(struct.pack("<qq", page_id, rec_lsn))
+            _QQ.pack_into(buf, pos, page_id, rec_lsn)
+            pos += 16
         for txn_id, last_lsn, is_system in self.active_txns:
-            out.append(struct.pack("<qqB", txn_id, last_lsn, int(is_system)))
+            _QQB.pack_into(buf, pos, txn_id, last_lsn, int(is_system))
+            pos += 17
         for page_id, lsn in sorted(self.pri_images.items()):
-            out.append(struct.pack("<qq", page_id, lsn))
-        return b"".join(out)
+            _QQ.pack_into(buf, pos, page_id, lsn)
+            pos += 16
+        return pos
+
+    def encode(self) -> bytes:
+        buf = bytearray(self.encoded_size())
+        self.encode_into(buf, 0)
+        return bytes(buf)
 
     @classmethod
-    def decode(cls, data: bytes) -> "CheckpointData":
-        n_dirty, n_txns, n_images = struct.unpack_from("<III", data, 0)
-        pos = 12
+    def decode(cls, data, offset: int = 0) -> "CheckpointData":
+        n_dirty, n_txns, n_images = _III.unpack_from(data, offset)
+        pos = offset + 12
         dirty = {}
         for _ in range(n_dirty):
-            page_id, rec_lsn = struct.unpack_from("<qq", data, pos)
+            page_id, rec_lsn = _QQ.unpack_from(data, pos)
             dirty[page_id] = rec_lsn
             pos += 16
         txns = []
         for _ in range(n_txns):
-            txn_id, last_lsn, is_system = struct.unpack_from("<qqB", data, pos)
+            txn_id, last_lsn, is_system = _QQB.unpack_from(data, pos)
             txns.append((txn_id, last_lsn, bool(is_system)))
             pos += 17
         images = {}
         for _ in range(n_images):
-            page_id, lsn = struct.unpack_from("<qq", data, pos)
+            page_id, lsn = _QQ.unpack_from(data, pos)
             images[page_id] = lsn
             pos += 16
         return cls(dirty, txns, images)
 
 
-@dataclass
+@dataclass(slots=True)
 class LogRecord:
     """One recovery-log record.
 
@@ -193,45 +222,91 @@ class LogRecord:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def encode(self) -> bytes:
-        payload = self._encode_payload()
-        total = HEADER_SIZE + len(payload)
-        header = _HEADER.pack(total, int(self.kind), self.txn_id,
-                              self.prev_lsn, self.page_id,
-                              self.page_prev_lsn, self.index_id)
-        return header + payload
+    def encoded_size(self) -> int:
+        """Exact serialized length, computed without materializing bytes.
 
-    def _encode_payload(self) -> bytes:
+        The append hot path only needs the length (LSNs are byte
+        offsets); keeping this in sync with :meth:`encode` is guarded
+        by the serialization round-trip property tests.
+        """
+        return HEADER_SIZE + self._payload_size()
+
+    def _payload_size(self) -> int:
         kind = self.kind
-        if kind in (LogRecordKind.UPDATE,):
-            flags = (1 if self.op else 0) | (2 if self.undo else 0)
-            out = [struct.pack("<B", flags)]
+        if kind == LogRecordKind.UPDATE:
+            size = 1
             if self.op:
-                out.append(_pack_bytes(self.op.encode()))
+                size += 4 + self.op.encoded_size()
             if self.undo:
-                out.append(self.undo.encode())
-            return b"".join(out)
+                size += self.undo.encoded_size()
+            return size
         if kind == LogRecordKind.COMPENSATION:
-            out = [struct.pack("<q", self.undo_next_lsn)]
-            out.append(_pack_bytes(self.op.encode() if self.op else b""))
-            return b"".join(out)
+            return 12 + (self.op.encoded_size() if self.op else 0)
         if kind == LogRecordKind.FORMAT_PAGE:
-            return _pack_bytes(self.op.encode() if self.op else b"")
+            return 4 + (self.op.encoded_size() if self.op else 0)
         if kind == LogRecordKind.FULL_PAGE_IMAGE:
-            return struct.pack("<q", self.page_lsn) + _pack_bytes(self.image or b"")
+            return 12 + len(self.image or b"")
+        if kind in (LogRecordKind.PRI_UPDATE, LogRecordKind.BACKUP_PAGE):
+            return 17
+        if kind == LogRecordKind.CHECKPOINT_END:
+            return 4 + (self.checkpoint or CheckpointData()).encoded_size()
+        if kind == LogRecordKind.BACKUP_FULL:
+            return 8
+        # COMMIT, ABORT, TXN_END, SYS_COMMIT, CHECKPOINT_BEGIN
+        return 0
+
+    def encode(self) -> bytes:
+        """Serialize into one preallocated buffer (no join of pieces)."""
+        total = HEADER_SIZE + self._payload_size()
+        buf = bytearray(total)
+        _HEADER.pack_into(buf, 0, total, int(self.kind), self.txn_id,
+                          self.prev_lsn, self.page_id,
+                          self.page_prev_lsn, self.index_id)
+        self._encode_payload_into(buf, HEADER_SIZE)
+        return bytes(buf)
+
+    def _encode_payload_into(self, buf: bytearray, pos: int) -> int:
+        kind = self.kind
+        if kind == LogRecordKind.UPDATE:
+            flags = (1 if self.op else 0) | (2 if self.undo else 0)
+            buf[pos] = flags
+            pos += 1
+            if self.op:
+                _U32.pack_into(buf, pos, self.op.encoded_size())
+                pos = self.op.encode_into(buf, pos + 4)
+            if self.undo:
+                pos = self.undo.encode_into(buf, pos)
+            return pos
+        if kind == LogRecordKind.COMPENSATION:
+            _I64.pack_into(buf, pos, self.undo_next_lsn)
+            pos += 8
+            op_size = self.op.encoded_size() if self.op else 0
+            _U32.pack_into(buf, pos, op_size)
+            pos += 4
+            return self.op.encode_into(buf, pos) if self.op else pos
+        if kind == LogRecordKind.FORMAT_PAGE:
+            op_size = self.op.encoded_size() if self.op else 0
+            _U32.pack_into(buf, pos, op_size)
+            pos += 4
+            return self.op.encode_into(buf, pos) if self.op else pos
+        if kind == LogRecordKind.FULL_PAGE_IMAGE:
+            _I64.pack_into(buf, pos, self.page_lsn)
+            return _put_bytes(buf, pos + 8, self.image or b"")
         if kind in (LogRecordKind.PRI_UPDATE, LogRecordKind.BACKUP_PAGE):
             ref = self.backup_ref or BackupRef.none()
-            return struct.pack("<qBq", self.page_lsn, int(ref.kind), ref.value)
+            _QBQ.pack_into(buf, pos, self.page_lsn, int(ref.kind), ref.value)
+            return pos + 17
         if kind == LogRecordKind.CHECKPOINT_END:
-            data = (self.checkpoint or CheckpointData()).encode()
-            return _pack_bytes(data)
+            checkpoint = self.checkpoint or CheckpointData()
+            _U32.pack_into(buf, pos, checkpoint.encoded_size())
+            return checkpoint.encode_into(buf, pos + 4)
         if kind == LogRecordKind.BACKUP_FULL:
-            return struct.pack("<q", self.backup_id)
-        # COMMIT, ABORT, TXN_END, SYS_COMMIT, CHECKPOINT_BEGIN
-        return b""
+            _I64.pack_into(buf, pos, self.backup_id)
+            return pos + 8
+        return pos
 
     @classmethod
-    def decode(cls, data: bytes) -> "LogRecord":
+    def decode(cls, data) -> "LogRecord":
         if len(data) < HEADER_SIZE:
             raise LogError("truncated log record header")
         total, kind_raw, txn_id, prev_lsn, page_id, page_prev_lsn, index_id = (
@@ -240,41 +315,46 @@ class LogRecord:
             raise LogError(f"log record length mismatch: {total} != {len(data)}")
         kind = LogRecordKind(kind_raw)
         record = cls(kind, txn_id, prev_lsn, page_id, page_prev_lsn, index_id)
-        payload = data[HEADER_SIZE:]
-        record._decode_payload(payload)
+        record._decode_payload(data, HEADER_SIZE)
         return record
 
-    def _decode_payload(self, payload: bytes) -> None:
+    def _decode_payload(self, data, pos: int) -> None:
+        """Decode the payload reading ``data`` at absolute offsets.
+
+        No intermediate payload slice is materialized; only the actual
+        byte fields (keys, values, images) are copied out.
+        """
         kind = self.kind
         if kind == LogRecordKind.UPDATE:
-            flags = payload[0]
-            pos = 1
+            flags = data[pos]
+            pos += 1
             if flags & 1:
-                op_bytes, pos = _unpack_bytes(payload, pos)
-                self.op = PageOp.decode(op_bytes)
+                (op_size,) = _U32.unpack_from(data, pos)
+                pos += 4
+                self.op = PageOp.decode(data, pos)
+                pos += op_size
             if flags & 2:
-                self.undo, pos = LogicalUndo.decode(payload, pos)
+                self.undo, pos = LogicalUndo.decode(data, pos)
         elif kind == LogRecordKind.COMPENSATION:
-            (self.undo_next_lsn,) = struct.unpack_from("<q", payload, 0)
-            op_bytes, _pos = _unpack_bytes(payload, 8)
-            if op_bytes:
-                self.op = PageOp.decode(op_bytes)
+            (self.undo_next_lsn,) = _I64.unpack_from(data, pos)
+            (op_size,) = _U32.unpack_from(data, pos + 8)
+            if op_size:
+                self.op = PageOp.decode(data, pos + 12)
         elif kind == LogRecordKind.FORMAT_PAGE:
-            op_bytes, _pos = _unpack_bytes(payload, 0)
-            if op_bytes:
-                self.op = PageOp.decode(op_bytes)
+            (op_size,) = _U32.unpack_from(data, pos)
+            if op_size:
+                self.op = PageOp.decode(data, pos + 4)
         elif kind == LogRecordKind.FULL_PAGE_IMAGE:
-            (self.page_lsn,) = struct.unpack_from("<q", payload, 0)
-            self.image, _pos = _unpack_bytes(payload, 8)
+            (self.page_lsn,) = _I64.unpack_from(data, pos)
+            self.image, _pos = _unpack_bytes(data, pos + 8)
         elif kind in (LogRecordKind.PRI_UPDATE, LogRecordKind.BACKUP_PAGE):
-            page_lsn, ref_kind, ref_value = struct.unpack_from("<qBq", payload, 0)
+            page_lsn, ref_kind, ref_value = _QBQ.unpack_from(data, pos)
             self.page_lsn = page_lsn
             self.backup_ref = BackupRef(BackupRefKind(ref_kind), ref_value)
         elif kind == LogRecordKind.CHECKPOINT_END:
-            data, _pos = _unpack_bytes(payload, 0)
-            self.checkpoint = CheckpointData.decode(data)
+            self.checkpoint = CheckpointData.decode(data, pos + 4)
         elif kind == LogRecordKind.BACKUP_FULL:
-            (self.backup_id,) = struct.unpack_from("<q", payload, 0)
+            (self.backup_id,) = _I64.unpack_from(data, pos)
 
     # ------------------------------------------------------------------
     # Helpers

@@ -1,0 +1,213 @@
+"""Property: every WAL serialization round-trips exactly.
+
+The append hot path trusts ``encoded_size()`` without materializing
+bytes (LSNs are byte offsets, so a size mismatch silently corrupts the
+log address space), and recovery trusts ``decode(encode(x)) == x`` for
+every record kind.  Hypothesis drives both invariants across every
+:class:`PageOp` kind — including the bulk run ops structural
+maintenance emits — every :class:`LogRecordKind`, checkpoint payloads
+and logical undo descriptors, with boundary payloads (empty keys and
+values, zero-length runs, maximal slot numbers) mixed in.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.page.page import PageType
+from repro.wal.ops import (
+    OpBulkDelete,
+    OpBulkInsert,
+    OpDelete,
+    OpInitSlotted,
+    OpInsert,
+    OpInverse,
+    OpSetGhost,
+    OpUpdateValue,
+    OpWriteBytes,
+    PageOp,
+)
+from repro.wal.records import (
+    BackupRef,
+    BackupRefKind,
+    CheckpointData,
+    LogicalUndo,
+    LogRecord,
+    LogRecordKind,
+    UndoAction,
+)
+
+# Payloads deliberately include the empty string (length-prefix
+# boundary) and stay small: the encodings are length-prefixed, so
+# large payloads exercise nothing new.
+payloads = st.binary(min_size=0, max_size=48)
+slots = st.integers(min_value=0, max_value=0xFFFF)
+lsns = st.integers(min_value=0, max_value=2**62)
+ids = st.integers(min_value=0, max_value=2**62)
+
+
+def _op_insert():
+    return st.builds(OpInsert, slots, payloads, payloads, st.booleans())
+
+
+def _op_delete():
+    return st.builds(OpDelete, slots, payloads, payloads, st.booleans())
+
+
+def _op_update_value():
+    return st.builds(OpUpdateValue, slots, payloads, payloads)
+
+
+def _op_set_ghost():
+    return st.builds(OpSetGhost, slots, st.booleans(), st.booleans())
+
+
+def _op_write_bytes():
+    # The byte-range op requires old/new of equal length.
+    def build(offset, old, new):
+        return OpWriteBytes(offset, old, new[:len(old)].ljust(len(old), b"\x00"))
+    return st.builds(build, slots, payloads, payloads)
+
+
+def _op_init_slotted():
+    return st.builds(OpInitSlotted, st.sampled_from(PageType))
+
+
+def _bulk_records():
+    return st.lists(
+        st.tuples(payloads, payloads, st.booleans()), min_size=0, max_size=6,
+    ).map(tuple)
+
+
+def _op_bulk_insert():
+    return st.builds(OpBulkInsert, slots, _bulk_records())
+
+
+def _op_bulk_delete():
+    return st.builds(OpBulkDelete, slots, _bulk_records())
+
+
+plain_ops = st.one_of(
+    _op_insert(), _op_delete(), _op_update_value(), _op_set_ghost(),
+    _op_write_bytes(), _op_init_slotted(), _op_bulk_insert(),
+    _op_bulk_delete(),
+)
+
+#: Every op kind, plus compensation wrappers around each of them.
+any_op = st.one_of(plain_ops, st.builds(OpInverse, plain_ops))
+
+logical_undos = st.builds(
+    LogicalUndo, st.sampled_from(UndoAction), payloads, payloads)
+
+checkpoints = st.builds(
+    CheckpointData,
+    st.dictionaries(ids, lsns, max_size=5),
+    st.lists(st.tuples(ids, lsns, st.booleans()), max_size=5),
+    st.dictionaries(ids, lsns, max_size=5),
+)
+
+backup_refs = st.builds(BackupRef, st.sampled_from(BackupRefKind), lsns)
+
+
+@settings(max_examples=200)
+@given(op=any_op)
+def test_page_op_round_trip(op):
+    encoded = op.encode()
+    assert len(encoded) == op.encoded_size()
+    decoded = PageOp.decode(encoded)
+    assert type(decoded) is type(op)
+    assert decoded == op
+
+
+@settings(max_examples=100)
+@given(undo=logical_undos)
+def test_logical_undo_round_trip(undo):
+    encoded = undo.encode()
+    assert len(encoded) == undo.encoded_size()
+    decoded, end = LogicalUndo.decode(encoded, 0)
+    assert decoded == undo
+    assert end == len(encoded)
+
+
+@settings(max_examples=100)
+@given(checkpoint=checkpoints)
+def test_checkpoint_round_trip(checkpoint):
+    encoded = checkpoint.encode()
+    assert len(encoded) == checkpoint.encoded_size()
+    assert CheckpointData.decode(encoded) == checkpoint
+
+
+# ----------------------------------------------------------------------
+# Full log records, one strategy per kind so every payload shape is hit.
+# ----------------------------------------------------------------------
+def _record_strategy():
+    header = dict(txn_id=ids, prev_lsn=lsns,
+                  page_id=st.integers(min_value=-1, max_value=2**62),
+                  page_prev_lsn=lsns, index_id=ids)
+    bare_kinds = st.sampled_from([
+        LogRecordKind.COMMIT, LogRecordKind.ABORT, LogRecordKind.TXN_END,
+        LogRecordKind.SYS_COMMIT, LogRecordKind.CHECKPOINT_BEGIN,
+    ])
+    return st.one_of(
+        st.builds(LogRecord, st.just(LogRecordKind.UPDATE), **header,
+                  op=st.none() | any_op, undo=st.none() | logical_undos),
+        st.builds(LogRecord, st.just(LogRecordKind.COMPENSATION), **header,
+                  op=st.none() | any_op, undo_next_lsn=lsns),
+        st.builds(LogRecord, bare_kinds, **header),
+        st.builds(LogRecord, st.just(LogRecordKind.FORMAT_PAGE), **header,
+                  op=st.none() | _op_init_slotted()),
+        st.builds(LogRecord, st.just(LogRecordKind.FULL_PAGE_IMAGE), **header,
+                  page_lsn=lsns, image=payloads),
+        st.builds(LogRecord,
+                  st.sampled_from([LogRecordKind.PRI_UPDATE,
+                                   LogRecordKind.BACKUP_PAGE]),
+                  **header, page_lsn=lsns, backup_ref=backup_refs),
+        st.builds(LogRecord, st.just(LogRecordKind.CHECKPOINT_END), **header,
+                  checkpoint=checkpoints),
+        st.builds(LogRecord, st.just(LogRecordKind.BACKUP_FULL), **header,
+                  backup_id=ids),
+    )
+
+
+@settings(max_examples=300)
+@given(record=_record_strategy())
+def test_log_record_round_trip(record):
+    encoded = record.encode()
+    assert len(encoded) == record.encoded_size()
+    decoded = LogRecord.decode(encoded)
+    assert decoded == record
+
+
+# ----------------------------------------------------------------------
+# Deterministic boundary cases the shrinker should not have to find.
+# ----------------------------------------------------------------------
+def test_empty_bulk_run_round_trips():
+    for cls in (OpBulkInsert, OpBulkDelete):
+        op = cls(0, ())
+        assert PageOp.decode(op.encode()) == op
+        assert op.encoded_size() == len(op.encode()) == 7
+
+
+def test_empty_payload_boundaries():
+    cases = [
+        OpInsert(0xFFFF, b"", b"", True),
+        OpDelete(0, b"", b""),
+        OpUpdateValue(1, b"", b""),
+        OpWriteBytes(0, b"", b""),
+        OpBulkInsert(3, ((b"", b"", False), (b"", b"", True))),
+        OpInverse(OpBulkDelete(0xFFFF, ((b"k", b"", False),))),
+    ]
+    for op in cases:
+        encoded = op.encode()
+        assert len(encoded) == op.encoded_size()
+        assert PageOp.decode(encoded) == op
+
+
+def test_empty_checkpoint_and_update_round_trip():
+    record = LogRecord(LogRecordKind.CHECKPOINT_END,
+                       checkpoint=CheckpointData())
+    assert LogRecord.decode(record.encode()) == record
+    # An UPDATE with neither op nor undo is legal (flags byte = 0).
+    bare = LogRecord(LogRecordKind.UPDATE, txn_id=9, page_id=4)
+    assert LogRecord.decode(bare.encode()) == bare
