@@ -60,6 +60,18 @@ TRACKED += [
 ]
 TRACKED += [(("latency", "ops_per_second"), "higher", 0.6)]
 
+#: Replication snapshot (BENCH_replication.json): deterministic
+#: simulated quantities.  The warm-replica repair must stay I/O-free
+#: (baseline 0, so *any* random read or replayed record trips the
+#: gate); the ack costs are simulated seconds, not wall clock.
+TRACKED += [
+    (("repair_source", "replica", "total_random_ios"), "lower"),
+    (("repair_source", "replica", "records_applied"), "lower"),
+    (("repair_source", "replica", "backup_fetches"), "lower"),
+    (("ack_modes", "replicated_durable_unbatched", "per_commit_ms"), "lower"),
+    (("ack_modes", "ack_overhead_ms_batched"), "lower"),
+]
+
 
 def lookup(snapshot: dict, path: tuple):
     node = snapshot

@@ -18,6 +18,13 @@ writes a ``BENCH_<tag>.json`` snapshot next to the repo root:
   (``repro/sim/harness.py``) must cover all five failure-event kinds
   and all four restart x restore mode combinations with the
   durability oracle clean;
+* **replication** (``benchmarks/test_ext_replication.py``): the warm
+  replica as a repair source (zero backup fetches, zero chain replay)
+  versus the backup + chain path, the simulated per-commit cost of
+  ``local_durable`` vs. ``replicated_durable`` acks with and without
+  group commit, and a replicated chaos campaign covering standby
+  crashes, link loss, and failover — written to
+  ``BENCH_replication.json``;
 * **per-operation latency** (``benchmarks/latency.py``): p50/p99/p999
   for insert, lookup and commit plus single-thread ops/s on the
   free-I/O profile, best-of-5, gated at >= 3x the pre-rewrite
@@ -295,6 +302,26 @@ def bench_chaos_coverage(n_schedules: int = 8) -> dict:
     return summary
 
 
+def bench_replication_chaos(n_schedules: int = 8) -> dict:
+    """Replicated chaos coverage: a fixed-seed campaign with a live
+    standby and ``replicated_durable`` acks must exercise every
+    replication event kind (standby crash, link loss, failover) with
+    the durability and replica-divergence oracles clean."""
+    from repro.sim.harness import REPLICATION_FAILURE_KINDS, run_campaign
+
+    campaign = run_campaign(n_schedules, base_seed=7100, n_events=35,
+                            differential=False, shrink=False,
+                            standby=True, ack_mode="replicated_durable",
+                            ship_mode="tail")
+    summary = campaign.summary()
+    summary["all_passed"] = campaign.ok
+    summary["failing_seeds"] = [f.config.seed for f in campaign.failures]
+    summary["replication_kinds_covered"] = all(
+        campaign.coverage.get(kind, 0) > 0
+        for kind in REPLICATION_FAILURE_KINDS)
+    return summary
+
+
 #: probe name -> (section key, list of boolean pass-criterion keys)
 PROBE_CRITERIA = {
     "recovery_ios_vs_log_volume": ["reads_flat"],
@@ -325,6 +352,24 @@ def check_snapshot(snapshot: dict) -> list[str]:
     append = snapshot.get("log_append_throughput", {})
     if not append.get("records_per_second", 0) > 0:
         failures.append("log_append_throughput: no throughput recorded")
+    return failures
+
+
+def check_replication_snapshot(snapshot: dict) -> list[str]:
+    """Pass criteria of the replication snapshot."""
+    failures = []
+    repair = snapshot.get("repair_source", {})
+    for key in ("replica_zero_replay", "chain_replays", "replica_fewer_ios"):
+        if not repair.get(key):
+            failures.append(f"repair_source.{key} is falsy")
+    acks = snapshot.get("ack_modes", {})
+    for key in ("replicated_costs_more", "ack_amortizes"):
+        if not acks.get(key):
+            failures.append(f"ack_modes.{key} is falsy")
+    chaos = snapshot.get("replicated_chaos", {})
+    for key in ("all_passed", "replication_kinds_covered"):
+        if not chaos.get(key):
+            failures.append(f"replicated_chaos.{key} is falsy")
     return failures
 
 
@@ -380,6 +425,31 @@ def main() -> int:
         fh.write("\n")
     print(f"wrote {path}")
     print(json.dumps(concurrency, indent=2))
+
+    # Replication snapshot (PR 7): deterministic simulated costs of
+    # the replica repair source and the two commit-ack modes, plus the
+    # replicated chaos campaign.
+    from benchmarks.test_ext_replication import (
+        run_ack_mode_costs,
+        run_repair_source_comparison,
+    )
+
+    replication = {
+        "generated_unix": int(time.time()),
+        "python": sys.version.split()[0],
+        "repair_source": run_repair_source_comparison(),
+        "ack_modes": run_ack_mode_costs(),
+        "replicated_chaos": bench_replication_chaos(),
+    }
+    replication_failures = check_replication_snapshot(replication)
+    replication["probe_failures"] = replication_failures
+    failures = failures + replication_failures
+    path = os.path.join(out_dir, "BENCH_replication.json")
+    with open(path, "w") as fh:
+        json.dump(replication, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {path}")
+    print(json.dumps(replication, indent=2))
 
     # Latency snapshot: wall-clock percentiles live in their own file
     # for the same reason as the concurrency probe.

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import RecoveryError, StorageError
+from repro.errors import BackupRetired, RecoveryError, StorageError
 from repro.page.page import Page
 from repro.sim.clock import SimClock
 from repro.sim.iomodel import IOProfile
@@ -84,6 +84,7 @@ class BackupStore:
         self._full_backup_lsns: dict[int, dict[int, int]] = {}
         self._full_backup_checkpoints: dict[int, int] = {}
         self._next_backup_id = 1
+        self._retired_backup_ids: set[int] = set()
         self._page_copies: dict[int, tuple[bytes, int]] = {}
         self._next_copy_location = 1
         self._freed_locations: list[int] = []
@@ -121,30 +122,43 @@ class BackupStore:
     def full_backup_checkpoint_lsn(self, backup_id: int) -> int | None:
         return self._full_backup_checkpoints.get(backup_id)
 
+    def _require_full_backup(self, backup_id: int) -> dict[int, bytes]:
+        """The image set of a retained full backup, or a crisp error.
+
+        A ``BackupRef`` captured before :meth:`retire_full_backup` ran
+        — e.g. by an in-flight repair — dangles afterwards; it must
+        surface as :class:`BackupRetired`, never a raw ``KeyError``.
+        """
+        images = self._full_backups.get(backup_id)
+        if images is None:
+            if backup_id in self._retired_backup_ids:
+                raise BackupRetired(
+                    f"full backup {backup_id} was retired; the reference "
+                    f"dangles")
+            raise RecoveryError(f"no full backup {backup_id}")
+        return images
+
     def fetch_from_full_backup(self, backup_id: int, page_id: int) -> tuple[bytes, int]:
         """One page from a full backup (random read on backup media)."""
-        try:
-            images = self._full_backups[backup_id]
-            image = images[page_id]
-        except KeyError:
+        images = self._require_full_backup(backup_id)
+        image = images.get(page_id)
+        if image is None:
             raise RecoveryError(
-                f"page {page_id} not in full backup {backup_id}") from None
+                f"page {page_id} not in full backup {backup_id}")
         self.clock.advance(self.profile.read_cost(self.page_size))
         self.stats.bump("backup_page_fetches")
         return image, self._full_backup_lsns[backup_id][page_id]
 
     def restore_full_backup(self, backup_id: int) -> dict[int, bytes]:
         """The whole backup (media recovery); one sequential read."""
-        try:
-            images = self._full_backups[backup_id]
-        except KeyError:
-            raise RecoveryError(f"no full backup {backup_id}") from None
+        images = self._require_full_backup(backup_id)
         total = sum(len(img) for img in images.values())
         self.clock.advance(self.profile.read_cost(total, sequential=True))
         self.stats.bump("full_backups_restored")
         return dict(images)
 
     def full_backup_lsns(self, backup_id: int) -> dict[int, int]:
+        self._require_full_backup(backup_id)
         return dict(self._full_backup_lsns[backup_id])
 
     def full_backup_ids(self) -> list[int]:
@@ -168,6 +182,7 @@ class BackupStore:
         del self._full_backups[backup_id]
         del self._full_backup_lsns[backup_id]
         self._full_backup_checkpoints.pop(backup_id, None)
+        self._retired_backup_ids.add(backup_id)
         self.stats.bump("full_backups_retired")
 
     # ------------------------------------------------------------------
@@ -204,6 +219,10 @@ class BackupStore:
         try:
             image, lsn = self._page_copies[location]
         except KeyError:
+            if location in self._freed_locations:
+                raise BackupRetired(
+                    f"page copy at location {location} was freed; the "
+                    f"reference dangles") from None
             raise RecoveryError(f"no page copy at location {location}") from None
         self.clock.advance(self.profile.read_cost(len(image)))
         self.stats.bump("backup_page_fetches")

@@ -45,6 +45,10 @@ class RecoveryResult:
     backup_fetches: int = 1
     elapsed_simulated: float = 0.0
     applied_lsns: list[int] = field(default_factory=list)
+    #: which source produced the image: ``"backup_chain"`` (one of the
+    #: four backup sources plus per-page chain replay) or ``"replica"``
+    #: (the hot standby served the page already rolled forward)
+    source: str = "backup_chain"
 
     @property
     def total_random_ios(self) -> int:
@@ -58,13 +62,18 @@ class SinglePageRecovery:
 
     def __init__(self, pri: PageRecoveryIndex | PartitionedRecoveryIndex,
                  backup_store: BackupStore, log_reader: LogReader,
-                 device: StorageDevice, clock: SimClock, stats: Stats) -> None:
+                 device: StorageDevice, clock: SimClock, stats: Stats,
+                 standby=None) -> None:
         self.pri = pri
         self.backup_store = backup_store
         self.log_reader = log_reader
         self.device = device
         self.clock = clock
         self.stats = stats
+        #: fifth repair source (PR 7): a hot standby tried *before* the
+        #: four backup sources — it holds the page already rolled
+        #: forward, so a hit needs zero chain-replay records
+        self.standby = standby
         self.history: list[RecoveryResult] = []
 
     def recover(self, failure: SinglePageFailure) -> tuple[Page, RecoveryResult]:
@@ -85,6 +94,33 @@ class SinglePageRecovery:
             raise RecoveryError(
                 f"page {page_id} not covered by the page recovery index")
         entry = self.pri.lookup(page_id)
+
+        # Fifth source, tried first (PR 7): a hot standby that has
+        # applied the page's chain at least up to the LSN the repair
+        # needs serves the page whole — zero backup fetch, zero chain
+        # replay.  A miss (no standby, standby down, page absent or
+        # lagging) falls through to the four backup sources below.
+        needed_lsn = self.log_reader.chain_start_lsn(page_id, entry.last_lsn)
+        if self.standby is not None:
+            served = self.standby.serve_page(page_id, needed_lsn)
+            if served is not None:
+                new_sector = self.device.remap(
+                    page_id, f"single-page failure: {failure.kind.value}")
+                served.seal()
+                self.device.write(page_id, served.data)
+                result = RecoveryResult(
+                    page_id=page_id,
+                    new_sector=new_sector,
+                    records_applied=0,
+                    log_pages_read=self.log_reader.pages_read - pages_before,
+                    backup_fetches=0,
+                    elapsed_simulated=self.clock.now - start_time,
+                    source="replica",
+                )
+                self.history.append(result)
+                self.stats.bump("spf_from_replica")
+                return served, result
+
         if not entry.has_backup:
             raise RecoveryError(f"page {page_id} has no backup image")
 
@@ -101,8 +137,7 @@ class SinglePageRecovery:
         # The start comes from the chain-head index where the PRI has
         # fallen behind, so updates logged since the last write-back
         # are replayed too instead of being lost with the dropped frame.
-        start_lsn = self.log_reader.chain_start_lsn(page_id, entry.last_lsn)
-        records = self.log_reader.walk_page_chain(start_lsn, backup_lsn,
+        records = self.log_reader.walk_page_chain(needed_lsn, backup_lsn,
                                                   page_id=page_id)
         applied = self._replay(page, records, backup_lsn)
 

@@ -408,6 +408,16 @@ class Checkpointer:
                     pos = partition._find_range(page_id)
                     if pos is not None:
                         bound = min(bound, partition._lsns[pos])
+        standby = getattr(db, "standby", None)
+        link = getattr(db, "standby_link", None)
+        if standby is not None and standby.running and link is not None:
+            # A live standby pins the log at its ship watermark: records
+            # it has not received yet can only ever come from the
+            # primary's log.  Truncating past a lagging standby would
+            # sever the link permanently (the shipper breaks rather than
+            # ship a gap).  A dead standby does not pin — reattaching
+            # re-seeds from scratch.
+            bound = min(bound, link.shipped_lsn)
         return bound
 
     def truncate_log(self, copy_forward: bool = True,

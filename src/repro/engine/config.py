@@ -91,6 +91,19 @@ class EngineConfig:
     #: commit forces its own prefix (the ablation baseline).
     group_commit: bool = True
 
+    #: commit acknowledgement mode (PR 7):
+    #: ``"local_durable"`` — a commit returns once its record is forced
+    #: to the local log (the classic contract); ``"replicated_durable"``
+    #: — the commit additionally blocks on the log shipper's ship-ack,
+    #: riding the group-commit window (the leader's force ships the
+    #: whole tail in one batch), so an acknowledged commit survives
+    #: primary loss.  Requires an attached standby
+    #: (:meth:`repro.engine.database.Database.attach_standby`);
+    #: without one — or with the shipping link severed — the commit
+    #: completes locally and raises
+    #: :class:`repro.errors.ReplicationLagError`.
+    commit_ack_mode: str = "local_durable"
+
     backup_policy: BackupPolicy = field(
         default_factory=lambda: BackupPolicy(every_n_updates=100))
 
@@ -112,6 +125,10 @@ class EngineConfig:
             raise ValueError(
                 f"restore_mode must be 'eager' or 'on_demand', "
                 f"got {self.restore_mode!r}")
+        if self.commit_ack_mode not in ("local_durable", "replicated_durable"):
+            raise ValueError(
+                f"commit_ack_mode must be 'local_durable' or "
+                f"'replicated_durable', got {self.commit_ack_mode!r}")
         if self.capacity_pages < self.data_start + 8:
             raise ValueError("capacity too small for metadata + PRI region")
 

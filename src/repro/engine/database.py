@@ -72,25 +72,39 @@ class Database:
     def __init__(self, config: EngineConfig | None = None,
                  clock: SimClock | None = None,
                  stats: Stats | None = None,
-                 injector: FaultInjector | None = None) -> None:
+                 injector: FaultInjector | None = None,
+                 adopt_storage: tuple[StorageDevice, LogManager] | None = None) -> None:
         self.config = config or EngineConfig()
         self.clock = clock or SimClock()
         self.stats = stats or Stats()
         self.injector = injector or FaultInjector(seed=self.config.seed)
         cfg = self.config
 
-        self.device = StorageDevice(
-            "db0", cfg.page_size, cfg.capacity_pages, self.clock,
-            cfg.device_profile, self.stats, self.injector,
-            proof_read=cfg.proof_read_writes)
-        self.log = LogManager(self.clock, cfg.log_profile, self.stats,
-                              segment_bytes=cfg.log_segment_bytes,
-                              group_commit=cfg.group_commit)
+        if adopt_storage is not None:
+            # Failover promotion (PR 7): adopt an existing device + log
+            # replica — the standby's — instead of formatting fresh
+            # ones.  The engine comes up crashed; the caller runs
+            # restart() to finish recovery before use.
+            self.device, self.log = adopt_storage
+        else:
+            self.device = StorageDevice(
+                "db0", cfg.page_size, cfg.capacity_pages, self.clock,
+                cfg.device_profile, self.stats, self.injector,
+                proof_read=cfg.proof_read_writes)
+            self.log = LogManager(self.clock, cfg.log_profile, self.stats,
+                                  segment_bytes=cfg.log_segment_bytes,
+                                  group_commit=cfg.group_commit)
         self.tm = TransactionManager(self.log, self.stats)
+        self.tm.ack_mode = cfg.commit_ack_mode
         self.locks = LockManager()
         self.tm.on_finish = self._release_locks_of
         self.backup_store = BackupStore(self.clock, cfg.backup_profile,
                                         self.stats, cfg.page_size)
+
+        #: hot standby replicating *from* this node, plus its shipping
+        #: link (a SegmentShipper); see :meth:`attach_standby`
+        self.standby = None
+        self.standby_link = None
 
         if cfg.pri_partitioned:
             self.pri: PageRecoveryIndex | PartitionedRecoveryIndex = (
@@ -134,9 +148,10 @@ class Database:
         #: chaos harness are unaffected
         self.latch = ReadWriteLatch()
 
-        self._crashed = False
+        self._crashed = adopt_storage is not None
         self._media_failed = False
-        self._bootstrap()
+        if adopt_storage is None:
+            self._bootstrap()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -148,7 +163,8 @@ class Database:
         if cfg.spf_enabled:
             self.single_page = SinglePageRecovery(
                 self.pri, self.backup_store, self.log_reader, self.device,
-                self.clock, self.stats)
+                self.clock, self.stats,
+                standby=getattr(self, "standby", None))
         else:
             self.single_page = None
         self.recovery_manager = RecoveryManager(
@@ -350,6 +366,46 @@ class Database:
                 self.abort(auto)
             raise
         self.commit(auto)
+
+    # ------------------------------------------------------------------
+    # Replication (PR 7)
+    # ------------------------------------------------------------------
+    def attach_standby(self, mode: str = "tail"):  # noqa: ANN201 - Standby
+        """Attach (or re-seed) an in-process log-shipped hot standby.
+
+        Seeds the standby from the primary's current state — verified
+        page images plus the retained durable log backlog — then hooks
+        a :class:`repro.engine.replication.SegmentShipper` into the log
+        so every force streams the newly durable tail.  ``mode``:
+        ``"tail"`` ships every durable record as it hardens;
+        ``"segment"`` ships only sealed log segments (the shipping unit
+        of classic log shipping — the open segment lags naturally).
+
+        The standby then serves as the *fifth* (and first-tried) repair
+        source for single-page recovery, as the ack target of
+        ``replicated_durable`` commits, and as the failover target via
+        :meth:`repro.engine.replication.Standby.promote`.
+        """
+        from repro.engine.replication import SegmentShipper, Standby
+
+        self._require_running()
+        standby = Standby(self.config, self.clock, self.stats)
+        standby.seed_from(self)
+        self.log.shipper = SegmentShipper(self.log, standby, mode=mode)
+        self.standby = standby
+        self.standby_link = self.log.shipper
+        if self.single_page is not None:
+            self.single_page.standby = standby
+        self.stats.bump("standby_attaches")
+        return standby
+
+    def detach_standby(self) -> None:
+        """Drop the standby and its shipping link entirely."""
+        self.log.shipper = None
+        self.standby = None
+        self.standby_link = None
+        if self.single_page is not None:
+            self.single_page.standby = None
 
     # ------------------------------------------------------------------
     # Checkpoints, backups, retention (delegated to the checkpointer)

@@ -73,6 +73,12 @@ class Session:
         # locks would otherwise be stranded with no handle).
         self.txn = None
         self.db.log.commit_force(lsn)
+        if self.db.tm.ack_mode == "replicated_durable":
+            # The barrier leader's force shipped the whole tail; riders
+            # usually find their record already acked.  Raises
+            # ReplicationLagError when the ack is unobtainable — the
+            # commit itself is done and locally durable.
+            self.db.log.ensure_replicated(lsn)
         return lsn
 
     def abort(self) -> None:

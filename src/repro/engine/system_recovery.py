@@ -208,7 +208,12 @@ def _analysis(db, report: RestartReport):  # noqa: ANN001
             if cfg.spf_enabled and record.backup_ref is not None:
                 db.pri.set_backup(page_id, record.backup_ref,
                                   record.page_lsn, db.clock.now)
-        elif kind == LogRecordKind.BACKUP_FULL and cfg.spf_enabled:
+        elif (kind == LogRecordKind.BACKUP_FULL and cfg.spf_enabled
+                and db.backup_store.has_full_backup(record.backup_id)):
+            # The guard covers two cases: a retired backup (its record
+            # outlives the media) and a promoted standby (its adopted
+            # log holds the old primary's BACKUP_FULL records, but its
+            # backup store starts empty).
             lsns = db.backup_store.full_backup_lsns(record.backup_id)
             if lsns:
                 db.pri.set_range_backup(0, max(lsns) + 1,

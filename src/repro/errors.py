@@ -131,6 +131,31 @@ class RecoveryError(ReproError):
     """A recovery procedure itself could not complete."""
 
 
+class BackupRetired(RecoveryError):
+    """A :class:`repro.wal.records.BackupRef` was dereferenced after the
+    backup it points to was retired (full backup) or freed (page copy).
+
+    Retirement is gated, but a reference *captured before* the gate ran
+    — an in-flight repair, a stale recovery-index entry on a promoted
+    standby — can still dangle; dereferencing it must fail crisply so
+    the caller can fall back or escalate, never with a raw ``KeyError``.
+    """
+
+
+class ReplicationError(ReproError):
+    """Log-shipping replication failed (standby, shipper, or failover)."""
+
+
+class ReplicationLagError(ReplicationError):
+    """A ``replicated_durable`` commit could not obtain its ship-ack.
+
+    The commit is *locally* durable — its record was forced before the
+    ack was attempted — but the standby does not have it (link severed,
+    standby crashed, or no standby attached), so the replication
+    guarantee the caller asked for does not hold.
+    """
+
+
 class LogError(ReproError):
     """Corrupt or inconsistent recovery log."""
 

@@ -64,6 +64,7 @@ from repro.errors import (
     KeyNotFound,
     MediaFailure,
     RecoveryError,
+    ReplicationLagError,
     SinglePageFailure,
 )
 from repro.sim.iomodel import HDD_PROFILE
@@ -80,6 +81,14 @@ MODE_COMBOS = (("eager", "eager"), ("eager", "on_demand"),
 #: the client stream itself: a fraction of fleet actions abort)
 FAILURE_KINDS = ("corrupt", "crash", "device_loss", "backup_loss", "double")
 
+#: replication failure kinds, mixed in only when ``ChaosConfig.standby``
+#: is on — so every pre-replication seed expands to a bit-identical
+#: schedule
+REPLICATION_FAILURE_KINDS = ("standby_crash", "link_loss", "failover")
+
+#: every kind a pending mid-op crash deadline must fire before
+ALL_FAILURE_KINDS = FAILURE_KINDS + REPLICATION_FAILURE_KINDS
+
 #: event kind -> relative weight in a generated schedule
 EVENT_MIX = (
     ("client", 50),
@@ -93,6 +102,13 @@ EVENT_MIX = (
     ("device_loss", 5),
     ("backup_loss", 3),
     ("double", 3),
+)
+
+#: extra weights when a standby is configured
+REPLICATION_EVENT_MIX = (
+    ("standby_crash", 5),
+    ("link_loss", 5),
+    ("failover", 3),
 )
 
 
@@ -116,6 +132,15 @@ class ChaosConfig:
     n_keys: int = 120
     restart_mode: str = "eager"
     restore_mode: str = "eager"
+    #: attach a hot standby (PR 7): the schedule then mixes in the
+    #: replication failure kinds, the standby serves as the fifth
+    #: repair source, and ``failover`` events promote it
+    standby: bool = False
+    #: ``"local_durable"`` or ``"replicated_durable"`` (the latter
+    #: requires ``standby``)
+    ack_mode: str = "local_durable"
+    #: shipping granularity: ``"tail"`` or ``"segment"``
+    ship_mode: str = "tail"
     #: run the eager-vs-on-demand differential oracle on designated
     #: failure events (check (d))
     differential: bool = True
@@ -136,6 +161,7 @@ class ChaosConfig:
             restart_mode=self.restart_mode,
             restore_mode=self.restore_mode,
             backup_policy=BackupPolicy(every_n_updates=24),
+            commit_ack_mode=self.ack_mode,
             seed=self.seed,
         )
 
@@ -158,6 +184,8 @@ class ChaosResult:
         header = (f"chaos seed={self.config.seed} "
                   f"restart={self.config.restart_mode} "
                   f"restore={self.config.restore_mode} "
+                  f"standby={self.config.standby} "
+                  f"ack={self.config.ack_mode} "
                   f"events={len(self.events)}")
         lines = [header, *self.trace,
                  "RESULT " + ("PASS" if self.ok else "FAIL")]
@@ -183,10 +211,17 @@ def generate_schedule(config: ChaosConfig) -> list[Event]:
     taxonomy; everything else is drawn from :data:`EVENT_MIX`.
     """
     rng = random.Random(f"chaos/{config.seed}")
+    guaranteed = FAILURE_KINDS
+    mix = EVENT_MIX
+    if config.standby:
+        # Only a standby-enabled config draws replication kinds, so
+        # every pre-replication (seed, config) expands bit-identically.
+        guaranteed = ALL_FAILURE_KINDS
+        mix = EVENT_MIX + REPLICATION_EVENT_MIX
     kinds: list[str] = []
-    if config.n_events >= 2 * len(FAILURE_KINDS):
-        kinds.extend(FAILURE_KINDS)
-    pool = [kind for kind, weight in EVENT_MIX for _ in range(weight)]
+    if config.n_events >= 2 * len(guaranteed):
+        kinds.extend(guaranteed)
+    pool = [kind for kind, weight in mix for _ in range(weight)]
     while len(kinds) < config.n_events:
         kinds.append(rng.choice(pool))
     rng.shuffle(kinds)
@@ -241,11 +276,27 @@ class DurabilityOracle:
         self.model: dict[bytes, bytes] = {}
         #: txn_id -> staged effects (value None = delete)
         self.uncertain: dict[int, dict[bytes, bytes | None]] = {}
+        #: every applied commit, in order: (txn_id, staged, commit_lsn,
+        #: replicated) — the replay tape :meth:`rebase_to_log` rebuilds
+        #: the model from after a failover, when commits acknowledged
+        #: ``local_durable`` may legitimately not have reached the
+        #: promoted standby
+        self.journal: list[tuple[int | None, dict[bytes, bytes | None],
+                                 int | None, bool]] = []
+        #: commits dropped by the most recent :meth:`rebase_to_log`
+        self.lost_at_last_rebase = 0
         self.checks = 0
 
     # -- bookkeeping during the workload -------------------------------
-    def commit_applied(self, staged: dict[bytes, bytes | None]) -> None:
-        """A transaction's commit call returned: effects are durable."""
+    def commit_applied(self, staged: dict[bytes, bytes | None],
+                       txn_id: int | None = None, lsn: int | None = None,
+                       replicated: bool = False) -> None:
+        """A transaction's commit call returned: effects are durable.
+
+        ``replicated`` marks a commit acknowledged under
+        ``replicated_durable`` — one that must survive even the total
+        loss of the primary."""
+        self.journal.append((txn_id, dict(staged), lsn, replicated))
         self._apply(staged)
 
     def record_uncertain(self, txn_id: int,
@@ -260,12 +311,56 @@ class DurabilityOracle:
         """Resolve parked commits against the post-recovery log."""
         if not self.uncertain:
             return
-        committed_ids = {record.txn_id for record in db.log.all_records()
-                         if record.kind == LogRecordKind.COMMIT}
+        committed_lsns = {record.txn_id: record.lsn
+                          for record in db.log.all_records()
+                          if record.kind == LogRecordKind.COMMIT}
         for txn_id in sorted(self.uncertain):
             staged = self.uncertain.pop(txn_id)
-            if txn_id in committed_ids:
-                self._apply(staged)
+            if txn_id in committed_lsns:
+                self.commit_applied(staged, txn_id=txn_id,
+                                    lsn=committed_lsns[txn_id])
+
+    def rebase_to_log(self, db: Database, context: str) -> list[str]:
+        """Failover: rebuild the model from what reached the promoted
+        standby, replaying the commit journal.
+
+        A journaled commit survives if its record is in the promoted
+        log, or if it predates the log's truncation horizon (its
+        effects rode the standby seed or shipped pages rather than
+        records).  A commit that does *not* survive is the documented
+        ``local_durable`` window — unless it was acknowledged
+        ``replicated_durable``, which makes its loss a violation.  The
+        journal is compacted to the survivors so a later failover
+        rebases from a consistent lineage.
+        """
+        committed_ids = {record.txn_id for record in db.log.all_records()
+                         if record.kind == LogRecordKind.COMMIT}
+        horizon = db.log.truncated_below
+        violations: list[str] = []
+        survivors: list[tuple] = []
+        model: dict[bytes, bytes] = {}
+        lost = 0
+        for entry in self.journal:
+            txn_id, staged, lsn, replicated = entry
+            survives = ((lsn is not None and lsn < horizon)
+                        or txn_id in committed_ids)
+            if survives:
+                survivors.append(entry)
+                for key, value in staged.items():
+                    if value is None:
+                        model.pop(key, None)
+                    else:
+                        model[key] = value
+            else:
+                lost += 1
+                if replicated:
+                    violations.append(
+                        f"{context}: replicated-acked txn {txn_id} "
+                        f"(commit LSN {lsn}) lost at failover")
+        self.journal = survivors
+        self.model = model
+        self.lost_at_last_rebase = lost
+        return violations
 
     def _apply(self, staged: dict[bytes, bytes | None]) -> None:
         for key, value in staged.items():
@@ -408,6 +503,12 @@ class _Run:
         self._armed_diff = False
         self.db.crash_hooks.append(self._on_crash)
         self.db.recovery_hooks.append(self._on_recovery)
+        if config.ack_mode == "replicated_durable" and not config.standby:
+            raise ValueError("ack_mode=replicated_durable requires standby")
+        if config.standby:
+            # Before any user commit: replicated_durable acks need the
+            # shipping link from the very first transaction.
+            self.db.attach_standby(mode=config.ship_mode)
         self.tree = self.db.create_index()
         self.index_id = self.tree.index_id
         self._load_initial()
@@ -416,11 +517,15 @@ class _Run:
     def _load_initial(self) -> None:
         db, tree = self.db, self.tree
         txn = db.begin()
+        staged: dict[bytes, bytes | None] = {}
         for i in range(self.config.n_keys):
             value = b"v%d.0" % i
             tree.insert(txn, key_of(i), value)
-            self.oracle.model[key_of(i)] = value
-        db.commit(txn)
+            staged[key_of(i)] = value
+        lsn = db.commit(txn)
+        self.oracle.commit_applied(
+            staged, txn_id=txn.txn_id, lsn=lsn,
+            replicated=self.config.ack_mode == "replicated_durable")
         db.flush_everything()
         backup_id = db.take_full_backup()
         self.trace(f"load keys={self.config.n_keys} backup={backup_id}")
@@ -565,7 +670,7 @@ class _Run:
         # A failure event while a mid-op crash deadline is still armed:
         # fire the pending crash first (with the differential setting
         # its crash event drew) so schedules stay well-ordered.
-        if db.clock.armed and kind in FAILURE_KINDS:
+        if db.clock.armed and kind in ALL_FAILURE_KINDS:
             self.crash_now(diff=self._armed_diff)
         handler = getattr(self, f"_do_{kind}")
         handler(payload)
@@ -610,8 +715,19 @@ class _Run:
                 db.abort(txn)
                 db.stats.bump("chaos_txn_failures")
             else:
-                db.commit(txn)
-                oracle.commit_applied(staged)
+                replicated = False
+                try:
+                    lsn = db.commit(txn)
+                    replicated = (db.tm.ack_mode == "replicated_durable")
+                except ReplicationLagError:
+                    # The commit IS done and locally durable; only the
+                    # replication acknowledgement failed (standby down
+                    # or link severed).  The oracle records it like a
+                    # local_durable commit: it may be lost at failover.
+                    lsn = txn.last_lsn
+                    db.stats.bump("chaos_replication_lag_commits")
+                oracle.commit_applied(staged, txn_id=txn.txn_id, lsn=lsn,
+                                      replicated=replicated)
                 self.result.committed_txns += 1
             self.inflight = None
             self.trace(f"client={action.client} seq={action.seq} "
@@ -727,6 +843,118 @@ class _Run:
             self.media_fail_now()
             self.recover_media_now(diff=False)
 
+    # -- replication events (PR 7) -------------------------------------
+    def _do_standby_crash(self, payload: dict) -> None:
+        """Toggle: a running standby dies; a dead (or never-attached)
+        one is re-seeded and reattached."""
+        db = self.db
+        if db.standby is not None and db.standby.running:
+            db.standby.crash()
+            self.trace("standby_crash")
+        else:
+            db.detach_standby()
+            db.attach_standby(mode=self.config.ship_mode)
+            self.trace("standby reattached (re-seeded)")
+
+    def _do_link_loss(self, payload: dict) -> None:
+        """Toggle the shipping link: sever it, or restore it (which
+        catches the standby up on the durable backlog)."""
+        link = self.db.standby_link
+        if link is None or (self.db.standby is not None
+                            and not self.db.standby.running):
+            self.trace("link_loss skipped (no live link)")
+            return
+        if link.link_up:
+            link.sever()
+            self.trace("link severed")
+        else:
+            link.restore()
+            self.trace(f"link restored shipped={link.shipped_lsn}")
+
+    def _do_failover(self, payload: dict) -> None:
+        """Total primary loss: promote the standby, rebase the oracle
+        to what actually reached it, and carry on against the new
+        primary (which gets a fresh standby of its own)."""
+        db = self.db
+        standby = db.standby
+        if standby is None or not standby.running:
+            self.trace("failover skipped (no running standby)")
+            return
+        db.clock.disarm()
+        for violation in self._check_replica_divergence("pre-failover"):
+            self.violation(violation)
+        # The primary is lost from here on: whatever the standby has is
+        # all that survives.  (No final catch-up ship — that is exactly
+        # the lag a real failover sees.)
+        promoted = standby.promote(restart_mode=self.config.restart_mode)
+        self.db = promoted
+        promoted.crash_hooks.append(self._on_crash)
+        promoted.recovery_hooks.append(self._on_recovery)
+        self.result.recoveries += 1
+        for violation in self.oracle.rebase_to_log(promoted, "failover"):
+            self.violation(violation)
+        from repro.errors import ConfigError
+
+        try:
+            self.tree = promoted.tree(self.index_id)
+        except ConfigError:
+            # Segment shipping can lose the whole open segment — if the
+            # very first (index-creating) records never shipped, nothing
+            # after them did either, so the rebased model is empty and
+            # the schema is simply re-created on the new primary.
+            self.tree = promoted.create_index()
+            self.trace("failover lost the schema; index re-created")
+            if self.oracle.model or self.tree.index_id != self.index_id:
+                self.violation(
+                    "failover: schema lost but rebased model non-empty "
+                    f"({len(self.oracle.model)} keys survive, recreated "
+                    f"index {self.tree.index_id} vs {self.index_id})")
+            self.index_id = self.tree.index_id
+        promoted.attach_standby(mode=self.config.ship_mode)
+        self.trace(f"failover promoted applied={standby.applied_lsn} "
+                   f"lost_commits={self.oracle.lost_at_last_rebase}")
+        self.check("post-failover", full=True)
+
+    def _check_replica_divergence(self, context: str) -> list[str]:
+        """The replica-divergence oracle: a standby page must be
+        byte-identical to the primary's durable copy *at equal
+        PageLSN*.  Pages whose device image is corrupt, missing, or at
+        a different LSN (dirty in the primary's pool, or the standby
+        lagging/leading the flush) are incomparable and skipped."""
+        from repro.errors import ReproError
+        from repro.page.page import Page
+
+        db = self.db
+        standby = db.standby
+        if standby is None or not standby.running or db.device.failed:
+            return []
+        violations: list[str] = []
+        for page_id in sorted(standby.pages):
+            raw = db.device.raw_image(page_id)
+            if raw is None:
+                continue
+            try:
+                primary = Page(db.config.page_size, raw)
+                primary.verify(expected_page_id=page_id)
+            except ReproError:
+                continue  # corrupt on the primary: repair's job, not ours
+            replica = standby.pages[page_id].copy()
+            if primary.page_lsn != replica.page_lsn:
+                continue
+            # update_count is advisory backup-freshness bookkeeping:
+            # the primary resets it (unlogged) when it takes a page
+            # copy, so the replica legitimately drifts in that one
+            # header field.  Compare everything else.
+            primary.reset_update_count()
+            replica.reset_update_count()
+            primary.seal()
+            replica.seal()
+            if bytes(replica.data) != bytes(primary.data):
+                violations.append(
+                    f"{context}: page {page_id} diverges between primary "
+                    f"and standby at equal PageLSN {primary.page_lsn}")
+        return violations
+
     def _do_poison(self, payload: dict) -> None:
         """Test-only: commit a write the oracle never hears about, so
         the next full check fails.  Exists to prove the harness and the
@@ -769,6 +997,9 @@ class _Run:
                 self._absorb_media_failure()
                 if self.result.ok:
                     self.check("final", full=True)
+        if self.result.ok and self.config.standby:
+            for violation in self._check_replica_divergence("final"):
+                self.violation(violation)
         self.result.ok = not self.result.violations
         return self.result
 
@@ -893,6 +1124,8 @@ class CampaignResult:
 def run_campaign(n_schedules: int, base_seed: int = 0, n_events: int = 40,
                  n_clients: int = 4, n_keys: int = 120,
                  differential: bool = True, shrink: bool = True,
+                 standby: bool = False, ack_mode: str = "local_durable",
+                 ship_mode: str = "tail",
                  on_result=None) -> CampaignResult:  # noqa: ANN001
     """Run ``n_schedules`` seeded schedules, cycling through all four
     restart x restore mode combinations."""
@@ -903,6 +1136,8 @@ def run_campaign(n_schedules: int, base_seed: int = 0, n_events: int = 40,
                              n_clients=n_clients, n_keys=n_keys,
                              restart_mode=restart_mode,
                              restore_mode=restore_mode,
+                             standby=standby, ack_mode=ack_mode,
+                             ship_mode=ship_mode,
                              differential=differential, shrink=shrink)
         result = run_chaos(config)
         campaign.schedules += 1
@@ -933,6 +1168,17 @@ def _build_parser() -> argparse.ArgumentParser:
                         default="eager")
     parser.add_argument("--restore-mode", choices=["eager", "on_demand"],
                         default="eager")
+    parser.add_argument("--standby", action="store_true",
+                        help="attach a hot standby and mix in the "
+                             "replication failure kinds (standby crash, "
+                             "link loss, failover)")
+    parser.add_argument("--ack-mode",
+                        choices=["local_durable", "replicated_durable"],
+                        default="local_durable",
+                        help="commit acknowledgement mode (replicated_"
+                             "durable implies --standby)")
+    parser.add_argument("--ship-mode", choices=["tail", "segment"],
+                        default="tail", help="log shipping granularity")
     parser.add_argument("--no-differential", action="store_true",
                         help="skip the eager-vs-on-demand byte-identity "
                              "check (faster)")
@@ -980,6 +1226,10 @@ def main(argv: list[str] | None = None) -> int:
                                 n_clients=args.clients, n_keys=args.keys,
                                 differential=not args.no_differential,
                                 shrink=not args.no_shrink,
+                                standby=args.standby or args.ack_mode
+                                == "replicated_durable",
+                                ack_mode=args.ack_mode,
+                                ship_mode=args.ship_mode,
                                 on_result=report)
         summary = campaign.summary()
         print("campaign " + " ".join(
@@ -995,6 +1245,10 @@ def main(argv: list[str] | None = None) -> int:
                          n_clients=args.clients, n_keys=args.keys,
                          restart_mode=args.restart_mode,
                          restore_mode=args.restore_mode,
+                         standby=args.standby or args.ack_mode
+                         == "replicated_durable",
+                         ack_mode=args.ack_mode,
+                         ship_mode=args.ship_mode,
                          differential=not args.no_differential,
                          shrink=not args.no_shrink)
     result = run_chaos(config)

@@ -74,6 +74,15 @@ class TransactionManager:
         #: called with each finished txn id (lock release etc.)
         self.on_finish: Callable[[Transaction], None] | None = None
         self._commit_batch: list[int] | None = None
+        #: commit acknowledgement mode (PR 7): ``"local_durable"``
+        #: returns once the commit record is forced locally;
+        #: ``"replicated_durable"`` additionally blocks on the log
+        #: shipper's ship-ack after the force (riding the group-commit
+        #: window), raising :class:`repro.errors.ReplicationLagError`
+        #: when the ack is unobtainable — the commit is locally durable
+        #: and *finished* either way, only the replication guarantee is
+        #: signalled as missing
+        self.ack_mode = "local_durable"
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -105,6 +114,7 @@ class TransactionManager:
         record = LogRecord(kind, txn_id=txn.txn_id, prev_lsn=txn.last_lsn)
         lsn = self.log.append(record)
         txn.note_logged(lsn)
+        await_ack = False
         if not txn.is_system:
             if self._commit_batch is not None:
                 # Group commit: the force is deferred to the end of the
@@ -117,11 +127,17 @@ class TransactionManager:
                 # user transaction") — with group commit enabled the
                 # whole buffered tail shares this one write.
                 self.log.commit_force(lsn)
+                await_ack = self.ack_mode == "replicated_durable"
             self.stats.bump("user_txns_committed")
         else:
             self.stats.bump("system_txns_committed")
         txn.state = TxnState.COMMITTED
         self._finish(txn)
+        if await_ack:
+            # After _finish: the transaction IS committed and locally
+            # durable; this only blocks on (or fails for want of) the
+            # standby's ship-ack.
+            self.log.ensure_replicated(lsn)
         return lsn
 
     @contextlib.contextmanager
@@ -149,6 +165,10 @@ class TransactionManager:
                 self.log.force()
                 self.stats.bump("group_commit_batches")
                 self.stats.bump("group_commit_batched_commits", len(batch))
+                if self.ack_mode == "replicated_durable":
+                    # One ship-ack covers the whole batch: the force
+                    # above shipped every batched commit in one send.
+                    self.log.ensure_replicated(batch[-1])
 
     def abort(self, txn: Transaction, ctx: UndoContext) -> None:
         """Roll back all of ``txn``'s updates and write the ABORT record."""

@@ -35,7 +35,7 @@ from __future__ import annotations
 import threading
 import time
 
-from repro.errors import LogError
+from repro.errors import LogError, ReplicationLagError
 from repro.sim.clock import SimClock
 from repro.sim.iomodel import IOProfile
 from repro.sim.stats import Stats
@@ -77,6 +77,18 @@ class LogManager:
         #: LSN of the most recent CHECKPOINT_END record; modelled as the
         #: log's "master record", which survives crashes.
         self.master_checkpoint_lsn = NULL_LSN
+        #: log shipping (PR 7): when a ``SegmentShipper`` is attached,
+        #: every force notifies it so the newly durable tail streams to
+        #: the standby.  Only *durable* records ever ship — the standby
+        #: must never apply a record the primary could still lose.
+        self.shipper = None
+        #: bumped whenever the log's content changes out from under its
+        #: readers (crash discards the unforced tail and re-assigns the
+        #: freed LSNs to different records).  :class:`LogReader` checks
+        #: this before trusting its LRU cache, so a reader that
+        #: survives a crash never treats a re-assigned log page as
+        #: already read.
+        self.invalidation_epoch = 0
         #: one mutex guards every append/force/truncate/crash mutation;
         #: it doubles as the cross-thread commit barrier's condition
         self._mutex = ConditionMutex()
@@ -162,6 +174,9 @@ class LogManager:
             self.stats.bump("log_forces")
             self.stats.bump("log_forced_bytes", pending)
             self._durable_lsn = target
+        shipper = self.shipper
+        if shipper is not None:
+            shipper.on_durable(target)
 
     def commit_force(self, commit_lsn: int) -> None:
         """Force on behalf of a commit record at ``commit_lsn``.
@@ -267,6 +282,74 @@ class LogManager:
     def append_and_force(self, record: LogRecord) -> int:
         lsn = self.append(record)
         self.force()
+        return lsn
+
+    def ensure_replicated(self, commit_lsn: int) -> None:
+        """Block a ``replicated_durable`` commit on its ship-ack.
+
+        Called *after* the commit's force, so the ack rides the group-
+        commit window: the leader's force already shipped the whole
+        buffered tail in one batch and riders find their record acked.
+        Raises :class:`ReplicationLagError` when the ack cannot be
+        obtained (no standby attached, link severed, standby down);
+        the commit remains locally durable either way.
+        """
+        shipper = self.shipper
+        if shipper is None:
+            raise ReplicationLagError(
+                f"commit {commit_lsn}: replicated_durable requires an "
+                f"attached standby")
+        with self._mutex:
+            record_end = commit_lsn + (self._dir.size_of(commit_lsn) or 0)
+        shipper.ship_until(record_end)
+        if shipper.acked_lsn < record_end:
+            raise ReplicationLagError(
+                f"commit {commit_lsn}: ship-ack stuck at "
+                f"{shipper.acked_lsn} < {record_end} "
+                f"(link severed or standby down)")
+
+    def sealed_lsn(self) -> int:
+        """Shipping horizon for segment-granular log shipping: the LSN
+        below which every log segment has sealed (exhausted its
+        encoded-byte budget)."""
+        with self._mutex:
+            return self._dir.sealed_below()
+
+    def adopt(self, record: LogRecord) -> int:
+        """Install a *shipped* record at its pre-assigned LSN.
+
+        The standby's log replica never assigns LSNs — the primary
+        already did.  Records must arrive gaplessly in LSN order (the
+        first adopted record may sit above ``LOG_START``; the gap is
+        the primary's truncated prefix, which the standby covers with
+        seeded page images instead of records).  Adopted records are
+        immediately durable: the ship-ack means the standby hardened
+        them.  Maintains the same derived indexes as :meth:`append`.
+        """
+        lsn = record.lsn
+        size = record.encoded_size()
+        with self._mutex:
+            if len(self._dir) == 0 and lsn >= self._next_lsn:
+                if lsn > self._dir.truncated_below:
+                    self._dir.truncate_below(lsn)
+            elif lsn != self._next_lsn:
+                raise LogError(
+                    f"adoption gap: expected LSN {self._next_lsn}, "
+                    f"got {lsn}")
+            self._dir.append(lsn, record, size)
+            self._next_lsn = lsn + size
+            self._durable_lsn = self._next_lsn
+            if record.page_id >= 0 and record.kind in _CHAIN_KINDS:
+                if record.kind == LogRecordKind.FORMAT_PAGE:
+                    self._format_displaced[lsn] = self._chain_heads.get(
+                        record.page_id, NULL_LSN)
+                self._chain_heads[record.page_id] = lsn
+            elif record.kind == LogRecordKind.BACKUP_FULL:
+                self._backup_full_lsns[record.backup_id] = lsn
+            elif record.kind == LogRecordKind.CHECKPOINT_END:
+                self.master_checkpoint_lsn = lsn
+        self.stats.bump("standby_log_records")
+        self.stats.bump("standby_log_bytes", size)
         return lsn
 
     # ------------------------------------------------------------------
@@ -398,6 +481,12 @@ class LogManager:
         if self.master_checkpoint_lsn >= self._next_lsn:
             # The checkpoint record itself was never forced; fall back.
             self.master_checkpoint_lsn = NULL_LSN
+        if lost:
+            # The discarded LSNs will be re-assigned to *different*
+            # records; any surviving LogReader must drop its LRU cache
+            # or a post-crash (or post-failover) repair would treat a
+            # re-written log page as already read.
+            self.invalidation_epoch += 1
 
     # ------------------------------------------------------------------
     # Convenience constructors used across the engine

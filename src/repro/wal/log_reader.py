@@ -42,9 +42,32 @@ class LogReader:
         self.records_read = 0
         # Concurrent readers repairing different pages share this cache.
         self._mutex = Mutex()
+        #: cache-coherence watermarks against the log: a crash discards
+        #: the unforced tail and re-assigns its LSNs to new records, and
+        #: truncation reclaims the head — either way cached log pages
+        #: may no longer describe what a read would now return, so the
+        #: stale entries must be purged before they suppress a charge.
+        self._seen_epoch = log.invalidation_epoch
+        self._seen_truncated = log.truncated_below
+
+    def _sync_cache_locked(self) -> None:
+        epoch = self.log.invalidation_epoch
+        if epoch != self._seen_epoch:
+            # Crash: the tail's LSNs were re-assigned; nothing cached
+            # can be trusted (a real log-page buffer dies with the
+            # process for the same reason).
+            self._cached.clear()
+            self._seen_epoch = epoch
+        truncated = self.log.truncated_below
+        if truncated > self._seen_truncated:
+            limit_page = log_page_of(truncated)
+            for page in [p for p in self._cached if p < limit_page]:
+                del self._cached[page]
+            self._seen_truncated = truncated
 
     def _charge(self, lsn: int) -> None:
         with self._mutex:
+            self._sync_cache_locked()
             page = log_page_of(lsn)
             if page in self._cached:
                 self._cached.move_to_end(page)

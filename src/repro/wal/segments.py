@@ -95,6 +95,22 @@ class SegmentDirectory:
         self._total_bytes += size
         self._record_count += 1
 
+    def sealed_below(self) -> int:
+        """The LSN below which every segment is sealed (budget full).
+
+        Segment-granular log shipping uses this as its shipping
+        horizon: the newest segment still accepting appends is not
+        shipped until it seals.  With no open segment the horizon is
+        the log end; with no segments at all it is the truncation
+        point.
+        """
+        if not self._segments:
+            return self.truncated_below
+        newest = self._segments[-1]
+        if newest.encoded_bytes >= self.segment_bytes:
+            return newest.end_lsn
+        return newest.base_lsn
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------

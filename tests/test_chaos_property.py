@@ -118,3 +118,88 @@ class TestSingleFailurePrefixDurability:
             tree = db.tree(1)
         # ... and the full history must be intact at the end.
         assert oracle.full_check(db, "end") == []
+
+
+# ----------------------------------------------------------------------
+# Replication (PR 7): the replicated_durable prefix survives the total
+# loss of the primary.
+# ----------------------------------------------------------------------
+REPLICATION_COMBOS = [(ship, restart)
+                      for ship in ("tail", "segment")
+                      for restart in ("eager", "on_demand")]
+
+
+@pytest.mark.parametrize("ship_mode,restart_mode", REPLICATION_COMBOS,
+                         ids=["/".join(c) for c in REPLICATION_COMBOS])
+class TestReplicatedPrefixSurvivesPrimaryLoss:
+    @settings(max_examples=6 * EXAMPLES, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(data=st.data())
+    def test_acked_commits_survive_failover(self, ship_mode, restart_mode,
+                                            data):
+        """Every commit acknowledged under ``replicated_durable`` must be
+        readable from the standby promoted after the primary is lost —
+        device and log together, no recovery of the primary at all."""
+        db = Database(fast_config())
+        tree = db.create_index()
+        oracle = DurabilityOracle()
+        txn = db.begin()
+        for i in range(40):
+            tree.insert(txn, key_of(i), b"base")
+            oracle.model[key_of(i)] = b"base"
+        db.commit(txn)
+        db.attach_standby(mode=ship_mode)
+        db.tm.ack_mode = "replicated_durable"
+
+        n_txns = data.draw(st.integers(1, 5), label="txns")
+        for batch in range(n_txns):
+            txn = db.begin()
+            staged = {}
+            for i in data.draw(st.lists(st.integers(0, 60), min_size=1,
+                                        max_size=4), label=f"ops{batch}"):
+                key = key_of(i)
+                value = b"r%d-%d" % (batch, i)
+                db.locks.acquire(txn.txn_id, key)
+                if key in oracle.model or key in staged:
+                    tree.update(txn, key, value)
+                else:
+                    tree.insert(txn, key, value)
+                staged[key] = value
+            db.commit(txn)  # acked: the standby has applied it
+            oracle.commit_applied(staged)
+
+        if data.draw(st.booleans(), label="in_flight_loser"):
+            # An unacked in-flight transaction rides along; promotion
+            # must roll it back, never expose it.
+            loser = db.begin()
+            db.locks.acquire(loser.txn_id, key_of(0))
+            tree.update(loser, key_of(0), b"NEVER-ACKED")
+
+        standby = db.standby
+        db.detach_standby()
+        db.device.fail_device("primary lost")  # total loss: no recovery
+        promoted = standby.promote(restart_mode=restart_mode)
+        promoted.finish_restart()
+        assert oracle.full_check(promoted, "post-failover") == []
+
+
+class TestReplicatedChaosCampaigns:
+    """Seeded chaos campaigns with a live standby: every mode combo runs
+    clean, including standby crashes, link loss, and failovers."""
+
+    @pytest.mark.parametrize("ack_mode,ship_mode", [
+        ("local_durable", "tail"),
+        ("replicated_durable", "tail"),
+        ("replicated_durable", "segment"),
+    ], ids=lambda v: v)
+    def test_campaign_clean(self, ack_mode, ship_mode):
+        from repro.sim.harness import run_campaign
+
+        campaign = run_campaign(4, base_seed=9100, n_events=28,
+                                n_clients=3, n_keys=60,
+                                differential=False, shrink=False,
+                                standby=True, ack_mode=ack_mode,
+                                ship_mode=ship_mode)
+        assert campaign.ok, campaign.summary()
+        assert campaign.recoveries > 0
