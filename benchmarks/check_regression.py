@@ -72,6 +72,17 @@ TRACKED += [
     (("ack_modes", "ack_overhead_ms_batched"), "lower"),
 ]
 
+#: Sharding snapshot (BENCH_sharding.json): the commit-throughput
+#: speedup and the per-shard makespan are simulated quantities
+#: (deterministic — the cost model decides them, not the CI host), so
+#: they take the default tolerance.  The >= 2.5x floor itself is a
+#: run_all probe criterion and surfaces through ``probe_failures``.
+TRACKED += [
+    (("sharded_throughput", "speedup"), "higher"),
+    (("sharded_throughput", "sharded", "sim_seconds_makespan"), "lower"),
+    (("sharded_throughput", "single", "sim_seconds"), "lower"),
+]
+
 
 def lookup(snapshot: dict, path: tuple):
     node = snapshot

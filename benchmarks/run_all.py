@@ -25,6 +25,14 @@ writes a ``BENCH_<tag>.json`` snapshot next to the repo root:
   group commit, and a replicated chaos campaign covering standby
   crashes, link loss, and failover — written to
   ``BENCH_replication.json``;
+* **sharded throughput**: the same batched workload through
+  ``repro.connect`` against one embedded engine and against four
+  engine processes behind the sharded client — the 4-process run
+  must clear >= 2.5x the single engine's ops/s — plus a fixed-seed
+  sharded chaos campaign (``repro/sim/shard_harness.py``: shard
+  crashes at 2PC failpoints, partitions, per-shard restart) with the
+  cross-shard atomicity oracle clean — written to
+  ``BENCH_sharding.json``;
 * **per-operation latency** (``benchmarks/latency.py``): p50/p99/p999
   for insert, lookup and commit plus single-thread ops/s on the
   free-I/O profile, best-of-5, gated at >= 3x the pre-rewrite
@@ -322,6 +330,114 @@ def bench_replication_chaos(n_schedules: int = 8) -> dict:
     return summary
 
 
+def bench_sharded_throughput(n_txns: int = 1200, n_shards: int = 4) -> dict:
+    """Commit throughput through the facade: one embedded engine vs.
+    ``n_shards`` engine *processes* behind the sharded client.
+
+    The workload is OLTP-shaped — ``n_txns`` independent single-key
+    autocommit transactions, each forcing its own commit record — and
+    identical per transaction on both backends.  The single engine
+    serializes every force on one log device; the fleet hash-spreads
+    the same transactions over ``n_shards`` processes, each with its
+    own WAL device, so the fleet's makespan is the *slowest shard's*
+    simulated time.  Commits/s is computed from simulated seconds
+    (deterministic: the cost model, not the CI host's core count,
+    decides it), with wall time reported informationally; the pass
+    criterion is the scale-out claim itself — the 4-shard fleet must
+    clear >= 2.5x the single engine's commits/s, with the gap to the
+    ideal 4x set by hash skew.
+    """
+    import repro
+    from repro.core.backup import BackupPolicy
+
+    def engine_template():  # noqa: ANN202
+        return repro.EngineConfig(
+            buffer_capacity=512,
+            backup_policy=BackupPolicy(every_n_updates=1_000_000))
+
+    workload = [(b"s%07d" % i, b"v%07d|" % i + b"x" * 16)
+                for i in range(n_txns)]
+
+    single = repro.connect(engine_template())
+    try:
+        sim_before = single.db.clock.now
+        t0 = time.perf_counter()
+        for key, value in workload:
+            single.put(key, value)
+        single_wall = time.perf_counter() - t0
+        single_sim = single.db.clock.now - sim_before
+        if single.get(workload[-1][0]) != workload[-1][1]:
+            raise AssertionError("throughput probe lost a write")
+    finally:
+        single.close()
+
+    sharded = repro.connect(repro.ShardConfig(
+        n_shards=n_shards, transport="process", engine=engine_template()))
+    try:
+        router = sharded.router
+        before = [router._call(i, "stats")["sim_clock_seconds"]
+                  for i in range(n_shards)]
+        t0 = time.perf_counter()
+        for key, value in workload:
+            sharded.put(key, value)
+        sharded_wall = time.perf_counter() - t0
+        per_shard_sim = [
+            router._call(i, "stats")["sim_clock_seconds"] - before[i]
+            for i in range(n_shards)]
+        if sharded.get(workload[-1][0]) != workload[-1][1]:
+            raise AssertionError("throughput probe lost a write")
+    finally:
+        sharded.close()
+
+    makespan = max(per_shard_sim)
+    single_cps = n_txns / single_sim
+    fleet_cps = n_txns / makespan
+    speedup = fleet_cps / single_cps
+    return {
+        "txns": n_txns,
+        "n_shards": n_shards,
+        "single": {
+            "sim_seconds": round(single_sim, 4),
+            "commits_per_second_sim": round(single_cps, 1),
+            "wall_seconds": round(single_wall, 4),
+        },
+        "sharded": {
+            "sim_seconds_makespan": round(makespan, 4),
+            "sim_seconds_per_shard": [round(s, 4) for s in per_shard_sim],
+            "commits_per_second_sim": round(fleet_cps, 1),
+            "wall_seconds": round(sharded_wall, 4),
+        },
+        "speedup": round(speedup, 3),
+        "parallel_speedup_ok": speedup >= 2.5,
+    }
+
+
+def bench_shard_chaos(n_schedules: int = 8) -> dict:
+    """Sharded chaos coverage: a fixed-seed campaign over the 2PC
+    router (``repro/sim/shard_harness.py``) must keep the cross-shard
+    atomicity and durability oracle clean while actually exercising
+    the machinery — commits interrupted at 2PC failpoints, per-shard
+    crash + on-demand reopen, surviving shards serving throughout."""
+    from repro.sim.shard_harness import ShardChaosConfig
+    from repro.sim.shard_harness import run_campaign as run_shard_campaign
+
+    campaign = run_shard_campaign(n_schedules, ShardChaosConfig(n_events=50))
+    return {
+        "runs": campaign.runs,
+        "committed_txns": campaign.committed_txns,
+        "cross_shard_committed": campaign.xtxn_committed,
+        "interrupted_commits": campaign.interrupted_commits,
+        "shard_reopens": campaign.reopens,
+        "served_while_down": campaign.served_while_down,
+        "all_passed": campaign.ok,
+        "failing_seeds": [f.config.seed for f in campaign.failures],
+        "machinery_exercised": (campaign.xtxn_committed > 0
+                                and campaign.interrupted_commits > 0
+                                and campaign.reopens > 0
+                                and campaign.served_while_down > 0),
+    }
+
+
 #: probe name -> (section key, list of boolean pass-criterion keys)
 PROBE_CRITERIA = {
     "recovery_ios_vs_log_volume": ["reads_flat"],
@@ -383,6 +499,20 @@ def check_concurrency_snapshot(snapshot: dict) -> list[str]:
     points = data.get("points", [])
     if points and points[0].get("forces_per_commit", 0) > 1.0:
         failures.append("commit_throughput: single-thread forces/commit > 1")
+    return failures
+
+
+def check_sharding_snapshot(snapshot: dict) -> list[str]:
+    """Pass criteria of the sharding snapshot."""
+    failures = []
+    data = snapshot.get("sharded_throughput", {})
+    if not data.get("parallel_speedup_ok"):
+        failures.append("sharded_throughput.parallel_speedup_ok is falsy "
+                        f"(speedup={data.get('speedup')})")
+    chaos = snapshot.get("shard_chaos", {})
+    for key in ("all_passed", "machinery_exercised"):
+        if not chaos.get(key):
+            failures.append(f"shard_chaos.{key} is falsy")
     return failures
 
 
@@ -450,6 +580,25 @@ def main() -> int:
         fh.write("\n")
     print(f"wrote {path}")
     print(json.dumps(replication, indent=2))
+
+    # Sharding snapshot (PR 8): the multi-process speedup is wall
+    # clock (it measures real cores), so it keeps its own file like
+    # the concurrency probe; the chaos campaign is deterministic.
+    sharding = {
+        "generated_unix": int(time.time()),
+        "python": sys.version.split()[0],
+        "sharded_throughput": bench_sharded_throughput(),
+        "shard_chaos": bench_shard_chaos(),
+    }
+    sharding_failures = check_sharding_snapshot(sharding)
+    sharding["probe_failures"] = sharding_failures
+    failures = failures + sharding_failures
+    path = os.path.join(out_dir, "BENCH_sharding.json")
+    with open(path, "w") as fh:
+        json.dump(sharding, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {path}")
+    print(json.dumps(sharding, indent=2))
 
     # Latency snapshot: wall-clock percentiles live in their own file
     # for the same reason as the concurrency probe.

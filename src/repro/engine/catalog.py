@@ -20,7 +20,7 @@ from __future__ import annotations
 import struct
 
 from repro.btree.tree import FosterBTree
-from repro.errors import ConfigError
+from repro.errors import ConfigError, StorageError
 from repro.page.slotted import SlottedPage
 from repro.txn.transaction import Transaction
 from repro.wal.ops import OpInsert, OpUpdateValue
@@ -106,7 +106,10 @@ class Catalog:
     def reserve_object_id(self, txn: Transaction) -> int:
         """Claim the next index/heap id (one shared namespace)."""
         next_id = self.get_int(b"next_index")
-        assert next_id is not None
+        if next_id is None:
+            raise StorageError(
+                "metadata page has no 'next_index' record — the catalog "
+                "is corrupt beyond what page recovery repaired")
         self.set_int(txn, b"next_index", next_id + 1)
         return next_id
 

@@ -73,6 +73,12 @@ class Checkpointer:
         dirty_snapshot = sorted(db.pool.dirty_page_table())
         att = [(txn.txn_id, txn.last_lsn, txn.is_system)
                for txn in db.tm.active.values()]
+        # Recovered in-doubt (prepared) branches are not in tm.active
+        # but must survive into the checkpoint's ATT: a crash after
+        # this checkpoint starts analysis here, and the chain-head
+        # PREPARE test re-classifies them as in doubt.
+        att.extend((entry.txn_id, entry.last_lsn, False)
+                   for entry in db.indoubt.values())
         for page_id in dirty_snapshot:
             if db.pool.resident(page_id):
                 db.pool.flush_page(page_id)
@@ -378,6 +384,12 @@ class Checkpointer:
         for txn in db.tm.active.values():
             if txn.first_lsn:
                 bound = min(bound, txn.first_lsn)
+        for entry in db.indoubt.values():
+            # An undecided 2PC branch may still be rolled back, and its
+            # chain-head PREPARE record is what re-classifies it at the
+            # next analysis — pin back to its first record.
+            if entry.first_lsn:
+                bound = min(bound, entry.first_lsn)
         if db.restart_registry is not None:
             # Instant restart's completion watermark: pending pages and
             # losers pin the log until they resolve (the truncation

@@ -22,13 +22,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.backup import BackupPolicy
+from repro.errors import ConfigError
 from repro.sim.iomodel import HDD_PROFILE, IOProfile
 from repro.wal.segments import DEFAULT_SEGMENT_BYTES
 
 
-@dataclass
+@dataclass(kw_only=True)
 class EngineConfig:
-    """Everything needed to build a :class:`repro.engine.Database`."""
+    """Everything needed to build a :class:`repro.engine.Database`.
+
+    Keyword-only: every field is named at the call site, so adding or
+    reordering axes can never silently reinterpret a positional
+    argument.  Construction runs :meth:`validate`, which raises a typed
+    :class:`repro.errors.ConfigError` on incompatible combinations.
+    """
 
     page_size: int = 4096
     capacity_pages: int = 1024
@@ -117,20 +124,42 @@ class EngineConfig:
         if self.spf_enabled:
             # PRI maintenance subsumes logging completed writes.
             self.log_completed_writes = True
+        self.validate()
+
+    def validate(self) -> "EngineConfig":
+        """Check the combination of axes; raises :class:`ConfigError`.
+
+        Runs at construction, and again by ``repro.connect`` before a
+        backend is built (the facade adds its own compatibility checks
+        on top, e.g. the ack mode's standby requirement).  Returns
+        ``self`` for chaining.
+        """
+        if self.page_size < 512:
+            raise ConfigError(
+                f"page_size must be at least 512 bytes, got {self.page_size}")
+        if self.buffer_capacity < 4:
+            raise ConfigError(
+                f"buffer_capacity must be at least 4 frames, "
+                f"got {self.buffer_capacity}")
         if self.restart_mode not in ("eager", "on_demand"):
-            raise ValueError(
+            raise ConfigError(
                 f"restart_mode must be 'eager' or 'on_demand', "
                 f"got {self.restart_mode!r}")
         if self.restore_mode not in ("eager", "on_demand"):
-            raise ValueError(
+            raise ConfigError(
                 f"restore_mode must be 'eager' or 'on_demand', "
                 f"got {self.restore_mode!r}")
         if self.commit_ack_mode not in ("local_durable", "replicated_durable"):
-            raise ValueError(
+            raise ConfigError(
                 f"commit_ack_mode must be 'local_durable' or "
                 f"'replicated_durable', got {self.commit_ack_mode!r}")
         if self.capacity_pages < self.data_start + 8:
-            raise ValueError("capacity too small for metadata + PRI region")
+            raise ConfigError("capacity too small for metadata + PRI region")
+        if self.log_segment_bytes < 512:
+            raise ConfigError(
+                f"log_segment_bytes must be at least 512, "
+                f"got {self.log_segment_bytes}")
+        return self
 
     @property
     def pri_region_start(self) -> int:

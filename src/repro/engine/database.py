@@ -133,6 +133,13 @@ class Database:
         #: crash so the interrupted restore can be re-run)
         self._pending_restore_backup_id: int | None = None
 
+        #: in-doubt (prepared, undecided) 2PC transactions recovered by
+        #: restart/media analysis, keyed by global transaction id; each
+        #: holds its key locks until :meth:`resolve_indoubt` delivers
+        #: the coordinator's decision.  Volatile — a crash clears it
+        #: and the next analysis rebuilds it from the PREPARE records.
+        self.indoubt: dict[int, object] = {}
+
         #: observation hooks for failure/recovery tooling (the chaos
         #: harness): ``crash_hooks`` fire at the end of :meth:`crash`;
         #: ``recovery_hooks`` fire with ``(kind, report)`` after a
@@ -322,6 +329,54 @@ class Database:
         """Batch user commits into one log force (group commit)."""
         return self.tm.group_commit()
 
+    # Two-phase commit participation (sharded deployments) -------------
+    def prepare(self, txn: Transaction, gtid: int) -> int:
+        """2PC phase one: force a PREPARE record for a local branch."""
+        self._require_running()
+        return self.tm.prepare(txn, gtid)
+
+    def commit_prepared(self, txn: Transaction) -> int:
+        """2PC phase two, decision = commit, for a live prepared branch."""
+        self._require_running()
+        return self.tm.commit_prepared(txn)
+
+    def abort_prepared(self, txn: Transaction) -> None:
+        """2PC phase two, decision = abort, for a live prepared branch."""
+        self._require_running()
+        self.tm.abort_prepared(txn, self)
+
+    def resolve_indoubt(self, gtid: int, commit: bool) -> int | None:
+        """Deliver the coordinator's decision to a recovered in-doubt
+        branch (see :attr:`indoubt`); returns the commit LSN or
+        ``None`` for an abort.
+
+        Idempotent against re-delivery: resolving a gtid with no
+        in-doubt entry raises :class:`repro.errors.RecoveryError`, so
+        the caller can distinguish "already resolved" via
+        :attr:`indoubt` membership first.
+        """
+        from repro.errors import RecoveryError
+        from repro.txn.transaction import TxnState
+
+        self._require_running()
+        entry = self.indoubt.get(gtid)
+        if entry is None:
+            raise RecoveryError(f"no in-doubt transaction for gtid {gtid}")
+        txn = Transaction(entry.txn_id)
+        txn.state = TxnState.PREPARED
+        txn.last_lsn = entry.last_lsn
+        txn.first_lsn = entry.first_lsn
+        # The entry leaves the registry only once the branch finished —
+        # a failure mid-rollback keeps it resolvable (CLRs make the
+        # retry restartable).
+        if commit:
+            lsn = self.tm.commit_prepared(txn)
+            self.indoubt.pop(gtid, None)
+            return lsn
+        self.tm.abort_prepared(txn, self)
+        self.indoubt.pop(gtid, None)
+        return None
+
     def session(self):  # noqa: ANN201 - Session
         """A transactional handle for one worker thread.
 
@@ -452,6 +507,7 @@ class Database:
         self.pool.drop_all()
         self.catalog.invalidate_volatile()
         self.tm.active.clear()
+        self.indoubt.clear()  # rebuilt from durable PREPARE records
         self.locks = LockManager()  # locks are volatile too
         if isinstance(self.pri, PartitionedRecoveryIndex):
             self.pri.partitions = (PageRecoveryIndex(), PageRecoveryIndex())

@@ -150,6 +150,14 @@ def run_media_recovery(db, backup_id: int,  # noqa: ANN001
         backup_page_lsns = db.backup_store.full_backup_lsns(backup_id)
     report.analysis_seconds = watch.elapsed
 
+    # Prepared (2PC) transactions are in doubt, not losers: they keep
+    # their locks and await the coordinator's decision — the same
+    # split restart analysis applies (the two must never disagree).
+    from repro.engine.system_recovery import register_indoubt, split_indoubt
+
+    att, indoubt = split_indoubt(db, att)
+    register_indoubt(db, indoubt)
+
     # ------------------------------------------------------------------
     # Registration: replacement device + restore registry.
     # ------------------------------------------------------------------

@@ -59,6 +59,10 @@ class RestartReport:
     redo_seconds: float = 0.0
     undo_seconds: float = 0.0
     loser_txn_ids: list[int] = field(default_factory=list)
+    #: prepared (2PC in-doubt) transactions found by analysis: neither
+    #: redone away nor rolled back — they hold their locks until the
+    #: coordinator's decision arrives via ``Database.resolve_indoubt``
+    indoubt_gtids: list[int] = field(default_factory=list)
     #: on-demand mode: work registered for lazy completion instead of
     #: being done before the database opened
     pending_redo_pages: int = 0
@@ -107,6 +111,11 @@ def run_restart(db, mode: str | None = None) -> RestartReport:  # noqa: ANN001
     report.dirty_pages_at_analysis_end = len(dpt)
     db.tm.restore_txn_id_floor(max_txn)
 
+    # Prepared (2PC) transactions leave the loser set: they re-acquire
+    # their locks and wait in doubt for the coordinator's decision.
+    att, indoubt = split_indoubt(db, att)
+    report.indoubt_gtids = register_indoubt(db, indoubt)
+
     if report.mode == "on_demand":
         registry = RestartRegistry(db, dpt, page_records, att)
         registry.install()
@@ -137,6 +146,69 @@ def run_restart(db, mode: str | None = None) -> RestartReport:  # noqa: ANN001
 #: record kinds that end a transaction (it is no longer a loser)
 TERMINAL_TXN_KINDS = (LogRecordKind.COMMIT, LogRecordKind.SYS_COMMIT,
                       LogRecordKind.ABORT, LogRecordKind.TXN_END)
+
+
+@dataclass
+class InDoubtTxn:
+    """A prepared transaction awaiting its 2PC coordinator decision.
+
+    Recovered by restart (or media-recovery) analysis: the transaction
+    voted yes — its PREPARE record is durable — so presumed abort does
+    not apply.  It holds its key locks (re-acquired from its chain)
+    until :meth:`repro.engine.database.Database.resolve_indoubt`
+    delivers the decision.
+    """
+
+    txn_id: int
+    gtid: int
+    last_lsn: int
+    first_lsn: int
+    keys: set[bytes] = field(default_factory=set)
+
+
+def split_indoubt(db, att):  # noqa: ANN001
+    """Partition an analysis ATT into losers and in-doubt transactions.
+
+    A transaction whose chain head is a PREPARE record is *in doubt*:
+    it must not be rolled back by presumed-abort undo.  The chain-head
+    test works whether analysis saw the PREPARE itself or only a
+    checkpoint's ATT entry pointing at it — a prepared transaction
+    never logs past its PREPARE except during a decided abort, whose
+    CLRs (and terminal ABORT) reclassify it correctly.
+
+    Returns ``(losers_att, {txn_id: (gtid, last_lsn)})``.
+    """
+    losers: dict[int, tuple[int, bool]] = {}
+    indoubt: dict[int, tuple[int, int]] = {}
+    for txn_id, (last_lsn, is_system) in att.items():
+        record = (db.log.record_at(last_lsn)
+                  if last_lsn != NULL_LSN and db.log.has_record(last_lsn)
+                  else None)
+        if record is not None and record.kind == LogRecordKind.PREPARE:
+            indoubt[txn_id] = (record.gtid, last_lsn)
+        else:
+            losers[txn_id] = (last_lsn, is_system)
+    return losers, indoubt
+
+
+def register_indoubt(db, indoubt: dict[int, tuple[int, int]]) -> list[int]:  # noqa: ANN001
+    """Re-install in-doubt transactions after a recovery's analysis.
+
+    Each gets its key locks back (from its per-transaction chain, the
+    same walk instant restart uses for losers) and an entry in
+    ``db.indoubt`` keyed by global transaction id; new transactions
+    touching those keys block until the decision resolves them.
+    """
+    gtids: list[int] = []
+    for txn_id, (gtid, last_lsn) in indoubt.items():
+        keys, first_lsn = db.tm.chain_summary(last_lsn)
+        for key in keys:
+            db.locks.acquire(txn_id, key)
+        db.indoubt[gtid] = InDoubtTxn(txn_id, gtid, last_lsn, first_lsn, keys)
+        gtids.append(gtid)
+    if gtids:
+        db.stats.bump("indoubt_txns_recovered", len(gtids))
+    return sorted(gtids)
 
 
 def note_txn_record(att: dict[int, tuple[int, bool]],

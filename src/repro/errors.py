@@ -28,8 +28,13 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
-class ConfigError(ReproError):
-    """Invalid configuration of a component."""
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration of a component.
+
+    Also a :class:`ValueError`: configuration mistakes are usage
+    errors, and callers that predate the typed taxonomy catch
+    ``ValueError`` — both idioms keep working.
+    """
 
 
 class TransactionError(ReproError):
@@ -154,6 +159,36 @@ class ReplicationLagError(ReplicationError):
     standby crashed, or no standby attached), so the replication
     guarantee the caller asked for does not hold.
     """
+
+
+class ClientError(ReproError):
+    """Misuse of the public :class:`repro.client.Client` facade."""
+
+
+class ClientClosedError(ClientError):
+    """An operation was attempted on a closed client (or a
+    transaction handle that outlived its ``with`` block)."""
+
+
+class ShardError(ReproError):
+    """A sharded deployment could not route or execute a request."""
+
+
+class ShardUnavailableError(ShardError):
+    """The shard owning the requested key cannot be reached (crashed
+    worker process, severed link).  Single-shard requests fail with
+    this; a cross-shard transaction that hits it during prepare is
+    aborted on every reachable participant (presumed abort).
+    """
+
+    def __init__(self, shard: int, reason: str = "") -> None:
+        super().__init__(f"shard {shard} unavailable: {reason}")
+        self.shard = shard
+        self.reason = reason
+
+
+class TwoPhaseCommitError(ShardError):
+    """A cross-shard transaction could not reach a decision."""
 
 
 class LogError(ReproError):

@@ -1,0 +1,67 @@
+"""Configuration of a sharded deployment."""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+from dataclasses import dataclass
+
+from repro.engine.config import EngineConfig
+from repro.errors import ConfigError
+
+
+@dataclass(kw_only=True)
+class ShardConfig:
+    """Everything needed to build a :class:`repro.shard.router.
+    ShardRouter` (and, through ``repro.connect``, a ``ShardedClient``).
+
+    ``engine`` is the per-shard template: each shard gets a copy with
+    its own derived fault-injection seed, so shards never share RNG
+    streams.  Keyword-only, like :class:`EngineConfig`, and validated
+    the same way — :meth:`validate` raises a typed
+    :class:`repro.errors.ConfigError` on incompatible combinations.
+    """
+
+    #: number of hash partitions / worker engines (>= 1)
+    n_shards: int = 4
+    #: ``"inproc"`` — workers live in the router's process behind the
+    #: same command protocol (deterministic: the chaos harness and the
+    #: differential suite run here); ``"process"`` — each worker is a
+    #: forked process behind the length-prefixed socket protocol (real
+    #: parallelism: N engines escape the GIL together)
+    transport: str = "inproc"
+    #: per-shard engine template (``None`` = ``EngineConfig()``)
+    engine: EngineConfig | None = None
+    #: base seed; shard ``i`` runs with ``seed * 1000 + i``
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "ShardConfig":
+        """Check the combination; raises :class:`ConfigError`."""
+        if self.n_shards < 1:
+            raise ConfigError(
+                f"n_shards must be at least 1, got {self.n_shards}")
+        if self.transport not in ("inproc", "process"):
+            raise ConfigError(
+                f"transport must be 'inproc' or 'process', "
+                f"got {self.transport!r}")
+        if (self.transport == "process"
+                and "fork" not in multiprocessing.get_all_start_methods()):
+            raise ConfigError(
+                "transport='process' needs the fork start method; "
+                "use transport='inproc' on this platform")
+        if self.engine is not None:
+            self.engine.validate()
+            if self.engine.commit_ack_mode != "local_durable":
+                raise ConfigError(
+                    "shard workers run standalone — "
+                    "commit_ack_mode='replicated_durable' has no standby "
+                    "attachment path behind the router")
+        return self
+
+    def shard_engine_config(self, shard_id: int) -> EngineConfig:
+        """The engine config shard ``shard_id`` boots with."""
+        base = self.engine if self.engine is not None else EngineConfig()
+        return dataclasses.replace(base, seed=self.seed * 1000 + shard_id)

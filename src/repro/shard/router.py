@@ -1,0 +1,393 @@
+"""The shard router: hash partitioning, transports, and 2PC driving.
+
+The router is the single coordinator of a sharded deployment.  Keys
+are partitioned with a *stable* hash (CRC-32 — never Python's
+``hash()``, which is randomized per process and would scatter a key
+across restarts).  Each partition is reached through a transport:
+
+* :class:`LocalShard` — the worker lives in the router's process and
+  commands are direct calls.  Deterministic, so the chaos harness and
+  the differential suite run here; a ``partitioned`` flag models a
+  network partition by refusing every command.
+* :class:`ProcessShard` — the worker is a forked child serving the
+  length-prefixed socket protocol.  N shards then run on N real
+  cores: the multi-process path the throughput benchmark measures.
+
+Cross-shard transactions commit with WAL-logged two-phase commit
+(participant PREPARE records + the router's forced decision log).  The
+router also implements *per-shard instant restart*: when a command
+hits a crashed shard it re-opens just that shard on demand — restart
+analysis reports the gtids the log left in doubt and the router
+resolves them straight from the decision log — while every other shard
+keeps serving untouched.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import zlib
+
+from repro.errors import (
+    ReproError,
+    ShardError,
+    ShardUnavailableError,
+    SystemFailure,
+    TransactionAborted,
+    TransactionError,
+)
+from repro.shard.config import ShardConfig
+from repro.shard.rpc import recv_msg, send_msg, unmarshal_error
+from repro.shard.twopc import CoordinatorLog
+from repro.shard.worker import ShardWorker, worker_main
+
+
+def shard_of(key: bytes, n_shards: int) -> int:
+    """Stable partition of ``key`` (CRC-32 mod N)."""
+    return zlib.crc32(key) % n_shards
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+class LocalShard:
+    """In-process transport: direct calls into a :class:`ShardWorker`.
+
+    Exposes the worker (and its engine) for the chaos harness, which
+    needs to crash shards and inspect their logs mid-protocol.
+    """
+
+    def __init__(self, shard_id: int, config) -> None:  # noqa: ANN001
+        self.shard_id = shard_id
+        self.worker = ShardWorker(shard_id, config)
+        #: network partition switch (the harness flips it)
+        self.partitioned = False
+
+    def call(self, command: tuple):  # noqa: ANN201
+        if self.partitioned:
+            raise ShardUnavailableError(self.shard_id, "network partition")
+        return self.worker.execute(command)
+
+    def close(self) -> None:
+        if not self.partitioned:
+            try:
+                self.worker.execute(("close",))
+            except ReproError:
+                pass  # a crashed shard has nothing to close
+
+
+class ProcessShard:
+    """Multi-process transport: a forked worker behind a socketpair.
+
+    Fork (not spawn) on purpose: the child inherits the already-built
+    configuration objects, and the engine itself is constructed *in the
+    child*, so no device or pool state is ever shared.  One lock per
+    shard serializes request/reply pairs on the connection; different
+    shards proceed fully in parallel.
+    """
+
+    def __init__(self, shard_id: int, config) -> None:  # noqa: ANN001
+        import multiprocessing
+        import socket
+
+        self.shard_id = shard_id
+        ctx = multiprocessing.get_context("fork")
+        parent_sock, child_sock = socket.socketpair()
+        self._sock = parent_sock
+        self._lock = threading.Lock()
+        self._proc = ctx.Process(
+            target=worker_main, args=(shard_id, config, child_sock),
+            daemon=True, name=f"shard-{shard_id}")
+        self._proc.start()
+        child_sock.close()  # the child holds its own copy
+
+    def call(self, command: tuple):  # noqa: ANN201
+        with self._lock:
+            try:
+                send_msg(self._sock, command)
+                reply = recv_msg(self._sock)
+            except (ConnectionError, OSError) as exc:
+                raise ShardUnavailableError(
+                    self.shard_id, f"worker connection lost: {exc}") from exc
+        if reply is None:
+            raise ShardUnavailableError(self.shard_id, "worker process exited")
+        if reply[0] == "ok":
+            return reply[1]
+        raise unmarshal_error(reply[1], reply[2])
+
+    def close(self) -> None:
+        try:
+            self.call(("close",))
+        except (ReproError, ShardUnavailableError):
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._proc.join(timeout=5)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# Router
+# ----------------------------------------------------------------------
+class ShardRouter:
+    """Routes keys, drives transactions, recovers shards on demand."""
+
+    def __init__(self, config: ShardConfig | None = None,
+                 coordinator: CoordinatorLog | None = None) -> None:
+        self.config = (config if config is not None
+                       else ShardConfig()).validate()
+        self.coordinator = coordinator if coordinator is not None \
+            else CoordinatorLog()
+        transport = (LocalShard if self.config.transport == "inproc"
+                     else ProcessShard)
+        self.shards = [
+            transport(i, self.config.shard_engine_config(i))
+            for i in range(self.config.n_shards)
+        ]
+        #: undeliverable phase-two messages, queued per shard until it
+        #: is reachable again (command tuples, replayed in order)
+        self._pending: dict[int, list[tuple]] = {
+            i: [] for i in range(self.config.n_shards)}
+        self._next_xid = itertools.count(1)
+        self._closed = False
+        self.reopens = 0
+        #: 2PC failpoint hook: ``hook(stage, shard_id)`` is called at
+        #: ``"after_prepare"``/``"after_commit"`` (per participant) and
+        #: ``"after_decision"`` (shard_id ``None``).  The chaos harness
+        #: raises from it to crash the protocol mid-flight.
+        self.commit_hook = None
+
+    # -- partitioning --------------------------------------------------
+    def shard_of(self, key: bytes) -> int:
+        return shard_of(key, self.config.n_shards)
+
+    # -- plumbing ------------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ShardError("router is closed")
+
+    def _call(self, idx: int, *command):  # noqa: ANN201
+        """One command to shard ``idx``, with on-demand reopen: a
+        crashed shard is restarted (and its in-doubt branches resolved
+        from the decision log) transparently, then the command retried
+        once.  A partitioned shard raises without retry."""
+        self._require_open()
+        self._flush_pending(idx)
+        try:
+            return self.shards[idx].call(tuple(command))
+        except SystemFailure:
+            self._reopen(idx)
+            return self.shards[idx].call(tuple(command))
+
+    def _reopen(self, idx: int) -> list[int]:
+        """Instant restart of one shard while the others keep serving.
+
+        Restart analysis reports the gtids still in doubt; each is
+        resolved immediately from the coordinator's durable decisions
+        (absent decision = presumed abort).  Anything queued for the
+        shard is superseded by this resolution and dropped.
+        """
+        shard = self.shards[idx]
+        indoubt = shard.call(("restart", None))
+        self._pending[idx].clear()
+        for gtid in indoubt:
+            verdict = self.coordinator.decision_of(gtid)
+            shard.call(("resolve", gtid, verdict == "commit"))
+        self.reopens += 1
+        return list(indoubt)
+
+    def _flush_pending(self, idx: int) -> None:
+        """Deliver queued phase-two messages once ``idx`` is back."""
+        queue = self._pending[idx]
+        while queue:
+            try:
+                self.shards[idx].call(queue[0])
+            except ShardUnavailableError:
+                return  # still partitioned; keep the queue
+            except SystemFailure:
+                self._reopen(idx)  # reopen resolves and clears the queue
+                return
+            queue.pop(0)
+
+    def _fire_hook(self, stage: str, shard_id: int | None) -> None:
+        if self.commit_hook is not None:
+            self.commit_hook(stage, shard_id)
+
+    # -- autocommit operations -----------------------------------------
+    def get(self, key: bytes) -> bytes | None:
+        return self._call(self.shard_of(key), "get", key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._call(self.shard_of(key), "put", key, value)
+
+    def delete(self, key: bytes) -> bool:
+        return self._call(self.shard_of(key), "delete", key)
+
+    def scan(self, low: bytes = b"",
+             high: bytes | None = None) -> list[tuple[bytes, bytes]]:
+        """Global key order across all shards (k-way merge of the
+        per-shard sorted scans)."""
+        per_shard = [self._call(i, "scan", low, high)
+                     for i in range(self.config.n_shards)]
+        return list(heapq.merge(*per_shard))
+
+    def apply_batch(self, idx: int, ops: list[tuple]) -> int:
+        """One shard-local bulk transaction (the benchmark path)."""
+        return self._call(idx, "batch", ops)
+
+    def partition_batches(self, ops: list[tuple]) -> dict[int, list[tuple]]:
+        """Split ``[("put", k, v) | ("delete", k), ...]`` by shard."""
+        batches: dict[int, list[tuple]] = {}
+        for op in ops:
+            batches.setdefault(self.shard_of(op[1]), []).append(op)
+        return batches
+
+    # -- transactions --------------------------------------------------
+    def txn(self) -> "RouterTxn":
+        self._require_open()
+        return RouterTxn(self, next(self._next_xid))
+
+    # -- maintenance ---------------------------------------------------
+    def checkpoint_all(self) -> list[int]:
+        return [self._call(i, "checkpoint")
+                for i in range(self.config.n_shards)]
+
+    def stats(self) -> dict[int, dict]:
+        return {i: self._call(i, "stats")
+                for i in range(self.config.n_shards)}
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.close()
+
+
+class RouterTxn:
+    """One router-level transaction, possibly spanning shards.
+
+    Branches are opened lazily on first *write* to a shard; reads do
+    not enlist (the read-only participant optimization — a branch with
+    nothing to undo or redo has no business in phase one).  Commit is
+    a local passthrough for 0/1 participants and WAL-logged 2PC for
+    more.
+    """
+
+    def __init__(self, router: ShardRouter, xid: int) -> None:
+        self.router = router
+        self.xid = xid
+        self.branches: set[int] = set()
+        self._done = False
+
+    # -- operations ----------------------------------------------------
+    def _require_active(self) -> None:
+        if self._done:
+            raise TransactionError(
+                f"transaction {self.xid} is already finished")
+
+    def _enlist(self, idx: int) -> None:
+        if idx not in self.branches:
+            self.router._call(idx, "txn_begin", self.xid)
+            self.branches.add(idx)
+
+    def get(self, key: bytes) -> bytes | None:
+        self._require_active()
+        idx = self.router.shard_of(key)
+        if idx in self.branches:
+            return self.router._call(idx, "txn_get", self.xid, key)
+        return self.router._call(idx, "get", key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._require_active()
+        idx = self.router.shard_of(key)
+        self._enlist(idx)
+        self.router._call(idx, "txn_put", self.xid, key, value)
+
+    def delete(self, key: bytes) -> bool:
+        self._require_active()
+        idx = self.router.shard_of(key)
+        self._enlist(idx)
+        return self.router._call(idx, "txn_delete", self.xid, key)
+
+    # -- finish --------------------------------------------------------
+    def commit(self) -> None:
+        self._require_active()
+        self._done = True
+        participants = sorted(self.branches)
+        if not participants:
+            return
+        if len(participants) == 1:
+            # Single-shard passthrough: the branch's own COMMIT record
+            # is the commit point; no coordinator state at all.
+            self.router._call(participants[0], "txn_commit", self.xid)
+            return
+        self._commit_two_phase(participants)
+
+    def _commit_two_phase(self, participants: list[int]) -> None:
+        router = self.router
+        gtid = router.coordinator.allocate_gtid()
+
+        # Phase one: force a PREPARE record on every participant.  Any
+        # refusal (or unreachable shard) before the decision is logged
+        # aborts the whole transaction — presumed abort.
+        prepared: list[int] = []
+        for idx in participants:
+            try:
+                router._call(idx, "prepare", self.xid, gtid)
+            except ReproError as exc:
+                self._abort_after_failed_prepare(gtid, prepared,
+                                                 participants)
+                raise TransactionAborted(
+                    self.xid,
+                    f"prepare failed on shard {idx}: {exc}") from exc
+            prepared.append(idx)
+            router._fire_hook("after_prepare", idx)
+
+        # The commit point: the decision is forced to the coordinator
+        # log.  From here the transaction *will* commit everywhere,
+        # however many crashes intervene.
+        router.coordinator.log_decision(gtid, "commit", participants)
+        router._fire_hook("after_decision", None)
+
+        # Phase two: deliver the decision.  An unreachable participant
+        # gets its resolution queued; a crashed one is reopened by
+        # _call, which resolves it from the decision log before the
+        # explicit resolve arrives (making it a no-op).
+        for idx in participants:
+            try:
+                router._call(idx, "resolve", gtid, True)
+            except ShardUnavailableError:
+                router._pending[idx].append(("resolve", gtid, True))
+            router._fire_hook("after_commit", idx)
+
+    def _abort_after_failed_prepare(self, gtid: int, prepared: list[int],
+                                    participants: list[int]) -> None:
+        router = self.router
+        router.coordinator.log_decision(gtid, "abort", participants)
+        for idx in prepared:
+            try:
+                router._call(idx, "resolve", gtid, False)
+            except ShardUnavailableError:
+                router._pending[idx].append(("resolve", gtid, False))
+        for idx in participants:
+            if idx in prepared:
+                continue
+            try:
+                router._call(idx, "txn_abort", self.xid)
+            except ReproError:
+                pass  # branch died with its shard; analysis undoes it
+
+    def abort(self) -> None:
+        self._require_active()
+        self._done = True
+        for idx in sorted(self.branches):
+            try:
+                self.router._call(idx, "txn_abort", self.xid)
+            except ReproError:
+                pass  # a crashed shard's analysis already undid it

@@ -1,0 +1,84 @@
+"""The coordinator side of cross-shard two-phase commit.
+
+The router is the coordinator.  Its decision log is the tiny durable
+structure classic 2PC requires: a *forced* COMMIT-decision entry is
+the commit point of a cross-shard transaction — before it, presumed
+abort applies (a coordinator crash between prepare and decision aborts
+the transaction); after it, every prepared participant must eventually
+commit, however many crashes intervene on either side.
+
+Like the engine's log manager, the decision log models durability
+explicitly for the chaos harness: :meth:`CoordinatorLog.crash`
+discards unforced entries, exactly what losing the coordinator host
+would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One durable coordinator decision."""
+
+    gtid: int
+    verdict: str  # "commit" | "abort"
+    participants: tuple[int, ...]
+
+
+class CoordinatorLog:
+    """Append-only, explicitly-forced 2PC decision log.
+
+    Global transaction ids are allocated from a counter that survives
+    :meth:`crash` — modeling the standard pessimistically pre-reserved
+    sequence block, so a gtid can never be reused for a different
+    transaction while a participant still holds the old one in doubt.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[Decision] = []
+        self._durable_count = 0
+        self._next_gtid = 1
+
+    # -- identity ------------------------------------------------------
+    def allocate_gtid(self) -> int:
+        gtid = self._next_gtid
+        self._next_gtid += 1
+        return gtid
+
+    # -- logging -------------------------------------------------------
+    def log_decision(self, gtid: int, verdict: str,
+                     participants: tuple[int, ...] | list[int],
+                     force: bool = True) -> None:
+        if verdict not in ("commit", "abort"):
+            raise ValueError(f"verdict must be 'commit' or 'abort', "
+                             f"got {verdict!r}")
+        self._entries.append(Decision(gtid, verdict, tuple(participants)))
+        if force:
+            self.force()
+
+    def force(self) -> None:
+        """Harden every appended decision (the commit point)."""
+        self._durable_count = len(self._entries)
+
+    def crash(self) -> None:
+        """Coordinator loss: unforced decisions vanish; durable ones —
+        and the gtid sequence — survive."""
+        del self._entries[self._durable_count:]
+
+    # -- recovery queries ----------------------------------------------
+    def decision_of(self, gtid: int) -> str:
+        """The durable verdict for ``gtid`` — ``"abort"`` when none was
+        forced (presumed abort covers coordinator loss between prepare
+        and decision)."""
+        for decision in self._entries[:self._durable_count]:
+            if decision.gtid == gtid:
+                return decision.verdict
+        return "abort"
+
+    def durable_decisions(self) -> list[Decision]:
+        return list(self._entries[:self._durable_count])
+
+    def __len__(self) -> int:
+        return len(self._entries)

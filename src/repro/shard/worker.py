@@ -1,0 +1,296 @@
+"""One shard: an engine instance behind the command protocol.
+
+A :class:`ShardWorker` owns a complete :class:`repro.engine.database.
+Database` — its own device, WAL, buffer pool, and restart/restore
+registries — plus one default key-value index, and executes the
+router's command tuples against it.  The same worker object serves two
+transports: in-process (the router calls :meth:`execute` directly —
+deterministic, used by the chaos harness and the differential suite)
+and multi-process (:func:`worker_main` runs :func:`serve` over a
+socket in a forked child, so N shards execute on N real cores).
+
+Transactional state lives here, keyed by router-chosen ids: ``_live``
+maps an ``xid`` to its open branch, ``_prepared`` maps a ``gtid`` to a
+branch that has forced its PREPARE record and now holds its locks in
+doubt.  A ``crash`` command wipes both (volatile state), exactly like
+the single-node engine's crash; ``restart`` reruns analysis and
+reports which gtids the log says are still in doubt.
+"""
+
+from __future__ import annotations
+
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+from repro.errors import KeyNotFound, ShardError, TransactionError
+from repro.shard.rpc import marshal_error, recv_msg, send_msg
+
+
+class ShardWorker:
+    """Executes shard command tuples against one engine instance."""
+
+    def __init__(self, shard_id: int, config: EngineConfig) -> None:
+        self.shard_id = shard_id
+        self.db = Database(config)
+        self.index_id = self.db.create_index().index_id
+        self._live: dict[int, object] = {}       # xid -> Transaction
+        self._prepared: dict[int, object] = {}   # gtid -> Transaction
+        self.ops_served = 0
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def execute(self, command: tuple):  # noqa: ANN201
+        """Run one ``(verb, *operands)`` tuple; exceptions propagate."""
+        verb = command[0]
+        handler = getattr(self, "_cmd_" + verb, None)
+        if handler is None:
+            raise ShardError(f"unknown shard command {verb!r}")
+        self.ops_served += 1
+        return handler(*command[1:])
+
+    @property
+    def _tree(self):  # noqa: ANN202 - FosterBTree
+        # Re-fetched every time: a restart rebuilds the catalog, and a
+        # cached handle would point at dead buffer-pool state.
+        return self.db.tree(self.index_id)
+
+    def _branch(self, xid: int):  # noqa: ANN202 - Transaction
+        txn = self._live.get(xid)
+        if txn is None:
+            raise TransactionError(
+                f"shard {self.shard_id} has no open branch for xid {xid}")
+        return txn
+
+    # ------------------------------------------------------------------
+    # Autocommit operations
+    # ------------------------------------------------------------------
+    def _cmd_ping(self) -> str:
+        return "pong"
+
+    def _cmd_get(self, key: bytes) -> bytes | None:
+        self.db._require_running()
+        try:
+            return self._tree.lookup(key)
+        except KeyNotFound:
+            return None
+
+    def _cmd_put(self, key: bytes, value: bytes) -> None:
+        xid = self._cmd_txn_begin(-1)
+        try:
+            self._cmd_txn_put(xid, key, value)
+        except BaseException:
+            self._abort_quietly(xid)
+            raise
+        self._cmd_txn_commit(xid)
+
+    def _cmd_delete(self, key: bytes) -> bool:
+        xid = self._cmd_txn_begin(-1)
+        try:
+            existed = self._cmd_txn_delete(xid, key)
+        except BaseException:
+            self._abort_quietly(xid)
+            raise
+        self._cmd_txn_commit(xid)
+        return existed
+
+    def _cmd_batch(self, ops: list[tuple]) -> int:
+        """Apply ``[("put", k, v) | ("delete", k), ...]`` in one local
+        transaction (the bulk path the benchmarks drive)."""
+        xid = self._cmd_txn_begin(-1)
+        try:
+            for op in ops:
+                if op[0] == "put":
+                    self._cmd_txn_put(xid, op[1], op[2])
+                elif op[0] == "delete":
+                    self._cmd_txn_delete(xid, op[1])
+                else:
+                    raise ShardError(f"unknown batch op {op[0]!r}")
+        except BaseException:
+            self._abort_quietly(xid)
+            raise
+        self._cmd_txn_commit(xid)
+        return len(ops)
+
+    def _cmd_scan(self, low: bytes = b"",
+                  high: bytes | None = None) -> list[tuple[bytes, bytes]]:
+        self.db._require_running()
+        return list(self._tree.range_scan(low, high))
+
+    def _abort_quietly(self, xid: int) -> None:
+        txn = self._live.pop(xid, None)
+        if txn is not None:
+            try:
+                self.db.abort(txn)
+            except Exception:
+                # The failed operation already escalated (e.g. to a
+                # system failure that wiped the active table); the
+                # original error is the one the router needs to see.
+                pass
+
+    # ------------------------------------------------------------------
+    # Transactional branches
+    # ------------------------------------------------------------------
+    def _cmd_txn_begin(self, xid: int) -> int:
+        """Open a branch.  ``xid`` is the router's transaction id; the
+        autocommit paths pass ``-1`` and get a fresh negative id so
+        internal transactions can never collide with router ones."""
+        if xid == -1:
+            xid = -2 - len(self._live)
+            while xid in self._live:
+                xid -= 1
+        if xid in self._live:
+            raise TransactionError(
+                f"shard {self.shard_id} already has a branch for xid {xid}")
+        self._live[xid] = self.db.begin()
+        return xid
+
+    def _cmd_txn_get(self, xid: int, key: bytes) -> bytes | None:
+        self._branch(xid)  # branch must exist; reads see live tree state
+        try:
+            return self._tree.lookup(key)
+        except KeyNotFound:
+            return None
+
+    def _cmd_txn_put(self, xid: int, key: bytes, value: bytes) -> None:
+        txn = self._branch(xid)
+        self.db.locks.acquire(txn.txn_id, key)
+        tree = self._tree
+        try:
+            tree.lookup(key)
+        except KeyNotFound:
+            tree.insert(txn, key, value)
+        else:
+            tree.update(txn, key, value)
+
+    def _cmd_txn_delete(self, xid: int, key: bytes) -> bool:
+        txn = self._branch(xid)
+        self.db.locks.acquire(txn.txn_id, key)
+        tree = self._tree
+        try:
+            tree.lookup(key)
+        except KeyNotFound:
+            return False
+        tree.delete(txn, key)
+        return True
+
+    def _cmd_txn_commit(self, xid: int) -> int:
+        txn = self._branch(xid)
+        lsn = self.db.commit(txn)
+        del self._live[xid]
+        return lsn
+
+    def _cmd_txn_abort(self, xid: int) -> None:
+        txn = self._branch(xid)
+        self.db.abort(txn)
+        del self._live[xid]
+
+    # ------------------------------------------------------------------
+    # Two-phase commit
+    # ------------------------------------------------------------------
+    def _cmd_prepare(self, xid: int, gtid: int) -> int:
+        """Phase one: force a PREPARE record; the branch moves from the
+        live table to the prepared table, still holding its locks."""
+        txn = self._branch(xid)
+        lsn = self.db.prepare(txn, gtid)
+        del self._live[xid]
+        self._prepared[gtid] = txn
+        return lsn
+
+    def _cmd_resolve(self, gtid: int, commit: bool) -> int | None:
+        """Phase two: deliver the coordinator's decision.
+
+        Handles both a still-live prepared branch and one recovered as
+        in-doubt after a crash; re-delivery to an already-resolved gtid
+        is a no-op (the retry path after a lost ack).
+        """
+        txn = self._prepared.pop(gtid, None)
+        if txn is not None:
+            if commit:
+                return self.db.commit_prepared(txn)
+            self.db.abort_prepared(txn)
+            return None
+        if gtid in self.db.indoubt:
+            return self.db.resolve_indoubt(gtid, commit)
+        return None
+
+    def _cmd_indoubt(self) -> list[int]:
+        gtids = set(self._prepared) | set(self.db.indoubt)
+        return sorted(gtids)
+
+    # ------------------------------------------------------------------
+    # Failures, recovery, maintenance
+    # ------------------------------------------------------------------
+    def _cmd_crash(self) -> None:
+        self.db.crash()
+        self._live.clear()
+        self._prepared.clear()
+
+    def _cmd_restart(self, mode: str | None = None) -> list[int]:
+        """Recover the shard; returns the gtids the log left in doubt
+        (the router resolves them from the coordinator's decisions)."""
+        report = self.db.restart(mode)
+        return list(report.indoubt_gtids)
+
+    def _cmd_finish_restart(self) -> tuple[int, int]:
+        return self.db.finish_restart()
+
+    def _cmd_checkpoint(self) -> int:
+        return self.db.checkpoint()
+
+    def _cmd_drain(self, page_budget: int | None = None,
+                   loser_budget: int | None = None) -> tuple[int, int]:
+        p1, l1 = self.db.drain_restart(page_budget, loser_budget)
+        p2, l2 = self.db.drain_restore(page_budget, loser_budget)
+        return p1 + p2, l1 + l2
+
+    def _cmd_stats(self) -> dict:
+        counters = self.db.stats.snapshot()
+        counters["shard_ops_served"] = self.ops_served
+        counters["shard_live_branches"] = len(self._live)
+        counters["shard_prepared_branches"] = len(self._prepared)
+        # Simulated seconds this shard's devices have charged; the
+        # throughput probe computes the fleet makespan from these.
+        counters["sim_clock_seconds"] = self.db.clock.now
+        return counters
+
+    def _cmd_close(self) -> None:
+        for xid in list(self._live):
+            self._abort_quietly(xid)
+
+
+# ----------------------------------------------------------------------
+# Process transport
+# ----------------------------------------------------------------------
+def serve(worker: ShardWorker, sock) -> None:  # noqa: ANN001
+    """Request loop for one connection: read a command tuple, reply
+    ``("ok", result)`` or ``("err", class_name, message)``."""
+    while True:
+        try:
+            command = recv_msg(sock)
+        except (ConnectionError, OSError, EOFError):
+            break
+        if command is None:
+            break
+        try:
+            result = worker.execute(command)
+        except Exception as exc:  # marshalled, never kills the loop
+            reply = ("err", *marshal_error(exc))
+        else:
+            reply = ("ok", result)
+        try:
+            send_msg(sock, reply)
+        except (ConnectionError, OSError, BrokenPipeError):
+            break
+        if command[0] == "close":
+            break
+
+
+def worker_main(shard_id: int, config: EngineConfig, sock) -> None:  # noqa: ANN001
+    """Entry point of a forked shard process: build the engine *in the
+    child* (each process gets private device/log/pool state) and serve
+    until the router hangs up."""
+    worker = ShardWorker(shard_id, config)
+    try:
+        serve(worker, sock)
+    finally:
+        sock.close()

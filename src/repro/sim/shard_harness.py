@@ -1,0 +1,618 @@
+"""Chaos testing for the sharded engine: crashes, partitions, 2PC.
+
+The single-node harness (:mod:`repro.sim.harness`) proves the
+durability oracle for one engine.  This harness proves the *sharded*
+contract on top of it, with two additional event kinds and one
+additional oracle:
+
+* ``shard_crash`` — one shard's engine loses its volatile state.
+  ``when="now"`` crashes it between events; the armed variants crash
+  it **inside** a cross-shard commit, at a chosen protocol point
+  (``after_one_prepare``, ``after_decision``, ``after_partial_commit``)
+  via the router's commit hook — cutting the two-phase protocol
+  mid-flight exactly where its correctness argument is least obvious.
+  A crash before the decision is forced must abort everywhere
+  (presumed abort, covering coordinator loss between prepare and
+  decision); a crash after it must commit everywhere, however the
+  remaining deliveries are interleaved with recoveries.
+* ``shard_partition`` — a shard refuses traffic until healed; phase-two
+  deliveries queue and must apply on reconnection.
+
+The **atomicity oracle** extends the durability model: every
+cross-shard transaction's staged effects are either all in the final
+state or all absent, with the coordinator's durable decision log as
+the referee — and the run also asserts *availability*: while one shard
+is down, a probe through a surviving shard must still be served
+(``served_while_down``), because per-shard instant restart means a
+shard failure degrades one key-range slice, not the service.
+
+Schedules are pure functions of ``(seed, config)`` — same replay and
+greedy event-deletion shrinking as the single-node harness.
+
+Command line::
+
+    PYTHONPATH=src python -m repro.sim.shard_harness --seed 7
+    PYTHONPATH=src python -m repro.sim.shard_harness --campaign 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.engine.config import EngineConfig
+from repro.errors import (
+    ReproError,
+    ShardUnavailableError,
+    TransactionError,
+)
+from repro.shard.config import ShardConfig
+from repro.shard.router import ShardRouter
+from repro.sim.scheduler import Event, EventScheduler
+from repro.txn.locks import DeadlockError, LockConflict
+from repro.workloads.fleet import ClientFleet
+
+#: the two shard-level failure kinds (every generated schedule of
+#: sufficient length contains each at least once)
+SHARD_FAILURE_KINDS = ("shard_crash", "shard_partition")
+
+#: protocol points an armed shard_crash can cut a 2PC commit at
+FAILPOINTS = ("after_one_prepare", "after_decision", "after_partial_commit")
+
+EVENT_MIX = (
+    ("client", 44),
+    ("xtxn", 20),
+    ("shard_crash", 12),
+    ("shard_partition", 6),
+    ("drain", 5),
+    ("checkpoint", 4),
+)
+
+VALUE_WIDTH = 24
+
+
+class ShardChaosInterrupt(Exception):
+    """Raised from the router's commit hook to cut a 2PC commit at an
+    armed failpoint.  Not a :class:`ReproError`: nothing in the engine
+    or router may catch it."""
+
+
+@dataclass
+class ShardChaosConfig:
+    """Everything needed to reproduce one sharded chaos run."""
+
+    seed: int = 0
+    n_shards: int = 3
+    n_events: int = 60
+    n_clients: int = 4
+    n_keys: int = 80
+    restart_mode: str = "on_demand"
+    shrink: bool = True
+    max_shrink_runs: int = 120
+    capacity_pages: int = 1024
+    buffer_capacity: int = 48
+
+    def shard_config(self) -> ShardConfig:
+        return ShardConfig(
+            n_shards=self.n_shards,
+            transport="inproc",  # deterministic; process shards cannot
+            # be crashed mid-protocol from the outside
+            engine=EngineConfig(
+                capacity_pages=self.capacity_pages,
+                buffer_capacity=self.buffer_capacity,
+                restart_mode=self.restart_mode,
+            ),
+            seed=self.seed,
+        )
+
+
+@dataclass
+class ShardChaosResult:
+    """Outcome of one executed schedule."""
+
+    config: ShardChaosConfig
+    events: list[Event]
+    ok: bool = True
+    violations: list[str] = field(default_factory=list)
+    trace: list[str] = field(default_factory=list)
+    event_counts: dict[str, int] = field(default_factory=dict)
+    committed_txns: int = 0
+    xtxn_committed: int = 0
+    interrupted_commits: int = 0
+    served_while_down: int = 0
+    reopens: int = 0
+    shrunk: list[Event] | None = None
+
+    def trace_text(self) -> str:
+        header = (f"shard-chaos seed={self.config.seed} "
+                  f"shards={self.config.n_shards} "
+                  f"restart={self.config.restart_mode} "
+                  f"events={len(self.events)}")
+        lines = [header, *self.trace,
+                 "RESULT " + ("PASS" if self.ok else "FAIL")]
+        lines.extend(f"VIOLATION {v}" for v in self.violations)
+        if self.shrunk is not None:
+            lines.append(f"SHRUNK to {len(self.shrunk)} events:")
+            lines.extend("  " + event.describe() for event in self.shrunk)
+        return "\n".join(lines)
+
+
+def key_of(i: int) -> bytes:
+    return b"k%06d" % i
+
+
+# ----------------------------------------------------------------------
+# Schedule generation
+# ----------------------------------------------------------------------
+def generate_schedule(config: ShardChaosConfig) -> list[Event]:
+    """Expand ``(seed, config)`` into an ordered shard-chaos schedule;
+    long enough schedules contain every shard failure kind and every
+    2PC failpoint at least once."""
+    rng = random.Random(f"shard-chaos/{config.seed}")
+    kinds: list[str] = []
+    if config.n_events >= 4 * len(SHARD_FAILURE_KINDS):
+        kinds.extend(SHARD_FAILURE_KINDS)
+        kinds.extend("shard_crash" for _ in FAILPOINTS)
+        kinds.extend("xtxn" for _ in FAILPOINTS)  # fuel for the armed crashes
+    pool = [kind for kind, weight in EVENT_MIX for _ in range(weight)]
+    while len(kinds) < config.n_events:
+        kinds.append(rng.choice(pool))
+    rng.shuffle(kinds)
+    # Guaranteed failpoints ride the first three guaranteed crashes.
+    forced_failpoints = list(FAILPOINTS)
+    scheduler = EventScheduler()
+    for step, kind in enumerate(kinds, start=1):
+        params = _draw_params(kind, rng, config)
+        if kind == "shard_crash" and forced_failpoints:
+            params["when"] = forced_failpoints.pop()
+        scheduler.schedule(float(step), kind, **params)
+    return list(scheduler.drain())
+
+
+def _draw_params(kind: str, rng: random.Random,
+                 config: ShardChaosConfig) -> dict:
+    if kind == "client":
+        return {"client": rng.randrange(config.n_clients)}
+    if kind == "xtxn":
+        n_ops = rng.randrange(2, 6)
+        keys = tuple(rng.sample(range(config.n_keys),
+                                min(n_ops, config.n_keys)))
+        return {"keys": keys,
+                "rank": rng.randrange(1_000_000),
+                "fate": "abort" if rng.random() < 0.1 else "commit"}
+    if kind == "shard_crash":
+        when = "now" if rng.random() < 0.55 else rng.choice(FAILPOINTS)
+        return {"shard": rng.randrange(1_000_000), "when": when,
+                "probe": rng.random() < 0.7}
+    if kind == "shard_partition":
+        return {"shard": rng.randrange(1_000_000)}
+    if kind == "drain":
+        return {"pages": rng.randrange(2, 11)}
+    if kind == "checkpoint":
+        return {"shard": rng.randrange(1_000_000)}
+    return {}
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+class _Run:
+    """One deterministic execution of ``(config, events)``."""
+
+    def __init__(self, config: ShardChaosConfig) -> None:
+        self.config = config
+        self.router = ShardRouter(config.shard_config())
+        self.fleet = ClientFleet(n_clients=config.n_clients,
+                                 seed=config.seed,
+                                 key_space=config.n_keys)
+        self.result = ShardChaosResult(config, [])
+        #: committed key -> value shadow
+        self.model: dict[bytes, bytes] = {}
+        #: gtid -> staged effects of commits cut at a failpoint,
+        #: settled from the coordinator's durable decisions at the end
+        self.uncertain: dict[int, dict[bytes, bytes | None]] = {}
+        #: xids of interrupted transactions whose unprepared branches
+        #: still hold locks (released during finalize)
+        self._orphan_xids: list[int] = []
+        self._armed: tuple[str, int] | None = None  # (failpoint, rank)
+
+    # -- plumbing ------------------------------------------------------
+    def trace(self, line: str) -> None:
+        self.result.trace.append(line)
+
+    def violation(self, message: str) -> None:
+        self.result.ok = False
+        self.result.violations.append(message)
+
+    def _crashed_shards(self) -> list[int]:
+        return [i for i, shard in enumerate(self.router.shards)
+                if shard.worker.db._crashed]
+
+    def _healthy_shard(self, avoid: int) -> int | None:
+        for i, shard in enumerate(self.router.shards):
+            if i != avoid and not shard.partitioned \
+                    and not shard.worker.db._crashed:
+                return i
+        return None
+
+    # -- workload ------------------------------------------------------
+    def _run_txn(self, staged_keys: list[tuple[bytes, bytes | None]],
+                 fate: str, tag: str) -> None:
+        """One transaction through the router; updates the model on a
+        returned commit, tallies refusals and interrupts otherwise."""
+        txn = self.router.txn()
+        staged: dict[bytes, bytes | None] = {}
+        gtid_before = self.router.coordinator._next_gtid
+        try:
+            for key, value in staged_keys:
+                if value is None:
+                    if txn.delete(key):
+                        staged[key] = None
+                else:
+                    txn.put(key, value)
+                    staged[key] = value
+            if fate == "abort":
+                txn.abort()
+                return
+            cross = len(txn.branches) > 1
+            txn.commit()
+        except ShardUnavailableError as exc:
+            self.trace(f"  {tag} refused: {exc}")
+            self._abandon(txn)
+            return
+        except (LockConflict, DeadlockError):
+            self.trace(f"  {tag} lock conflict")
+            self._abandon(txn)
+            return
+        except ShardChaosInterrupt:
+            # The armed failpoint fired mid-commit.  The protocol's
+            # fate is already sealed by the decision log: a durable
+            # commit decision *will* apply (every branch holds its
+            # locks until its resolution arrives, so no later writer
+            # can slip in front), anything else is presumed abort.
+            # Settling the model here keeps it in serialization order.
+            gtid = gtid_before  # the gtid this commit allocated
+            verdict = self.router.coordinator.decision_of(gtid)
+            if verdict == "commit":
+                for key, value in staged.items():
+                    if value is None:
+                        self.model.pop(key, None)
+                    else:
+                        self.model[key] = value
+            self.uncertain[gtid] = staged
+            self._orphan_xids.append(txn.xid)
+            self.result.interrupted_commits += 1
+            self.trace(f"  {tag} interrupted mid-2PC "
+                       f"(gtid {gtid}: {verdict})")
+            return
+        if staged:
+            for key, value in staged.items():
+                if value is None:
+                    self.model.pop(key, None)
+                else:
+                    self.model[key] = value
+        self.result.committed_txns += 1
+        if cross:
+            self.result.xtxn_committed += 1
+
+    def _abandon(self, txn) -> None:  # noqa: ANN001
+        try:
+            txn.abort()
+        except (ReproError, TransactionError):
+            pass  # unreachable branches get undone by analysis
+
+    # -- event handlers ------------------------------------------------
+    def _do_client(self, payload: dict) -> None:
+        action = self.fleet.next_action(payload["client"])
+        staged_keys: list[tuple[bytes, bytes | None]] = []
+        for verb, key_index, value in action.ops:
+            key = key_of(key_index)
+            if verb == "lookup":
+                continue  # reads don't stage anything in this harness
+            if verb == "delete":
+                staged_keys.append((key, None))
+            else:
+                staged_keys.append(
+                    (key, value[:VALUE_WIDTH].ljust(VALUE_WIDTH, b".")))
+        if not staged_keys:
+            return
+        self._run_txn(staged_keys, action.fate,
+                      f"client{action.client}.{action.seq}")
+
+    def _do_xtxn(self, payload: dict) -> None:
+        value = (b"x%d" % payload["rank"])[:VALUE_WIDTH].ljust(
+            VALUE_WIDTH, b".")
+        staged_keys = [(key_of(i), value) for i in payload["keys"]]
+        self._run_txn(staged_keys, payload["fate"], "xtxn")
+
+    def _do_shard_crash(self, payload: dict) -> None:
+        target = payload["shard"] % self.config.n_shards
+        if payload["when"] == "now":
+            # Through the worker, not the engine: a shard crash wipes
+            # the whole worker's volatile state (live and prepared
+            # branch tables included), like losing the process.
+            self.router.shards[target].worker.execute(("crash",))
+            self.trace(f"  shard {target} crashed")
+            self._probe_availability(target, payload)
+            return
+        # Arm the failpoint; the next cross-shard commit trips it.
+        self._armed = (payload["when"], target)
+        self.router.commit_hook = self._hook
+        self.trace(f"  armed {payload['when']} against shard {target}")
+
+    def _hook(self, stage: str, shard_id: int | None) -> None:
+        if self._armed is None:
+            return
+        when, rank = self._armed
+        fire = ((when == "after_one_prepare" and stage == "after_prepare")
+                or (when == "after_decision" and stage == "after_decision")
+                or (when == "after_partial_commit"
+                    and stage == "after_commit"))
+        if not fire:
+            return
+        self._armed = None
+        self.router.commit_hook = None
+        # Crash the shard that just acted (or, at the decision point,
+        # the armed target) — then cut the coordinator's protocol.
+        target = shard_id if shard_id is not None \
+            else rank % self.config.n_shards
+        self.router.shards[target].worker.execute(("crash",))
+        self.trace(f"  failpoint {when}: crashed shard {target}")
+        raise ShardChaosInterrupt(when)
+
+    def _probe_availability(self, down: int, payload: dict) -> None:
+        """While ``down`` is down, a surviving shard must keep serving;
+        optionally probe the crashed shard too, which must come back
+        via on-demand reopen while the probe waits."""
+        healthy = self._healthy_shard(avoid=down)
+        if healthy is not None:
+            try:
+                self.router._call(healthy, "ping")
+                self.result.served_while_down += 1
+            except ReproError as exc:
+                self.violation(
+                    f"healthy shard {healthy} refused service while "
+                    f"shard {down} was down: {exc}")
+        if payload.get("probe"):
+            try:
+                self.router._call(down, "get", key_of(0))
+            except ShardUnavailableError:
+                pass  # partitioned at the same time; fine
+            except ReproError as exc:
+                self.violation(
+                    f"on-demand reopen of shard {down} failed: {exc}")
+
+    def _do_shard_partition(self, payload: dict) -> None:
+        partitioned = [i for i, s in enumerate(self.router.shards)
+                       if s.partitioned]
+        if partitioned:
+            for i in partitioned:
+                self.router.shards[i].partitioned = False
+            self.trace(f"  healed partition of shards {partitioned}")
+            return
+        target = payload["shard"] % self.config.n_shards
+        self.router.shards[target].partitioned = True
+        self.trace(f"  partitioned shard {target}")
+
+    def _do_drain(self, payload: dict) -> None:
+        for i, shard in enumerate(self.router.shards):
+            if shard.partitioned or shard.worker.db._crashed:
+                continue
+            self.router._call(i, "drain", payload["pages"], None)
+
+    def _do_checkpoint(self, payload: dict) -> None:
+        target = payload["shard"] % self.config.n_shards
+        shard = self.router.shards[target]
+        if shard.partitioned or shard.worker.db._crashed:
+            return
+        self.router._call(target, "checkpoint")
+
+    # -- finalize: recover everything, settle 2PC, check ---------------
+    def finalize(self) -> None:
+        router = self.router
+        # 1. Heal partitions and disarm any unfired failpoint.
+        for shard in router.shards:
+            shard.partitioned = False
+        router.commit_hook = None
+        self._armed = None
+        # 2. Reopen every crashed shard (on-demand instant restart +
+        #    decision-log resolution of recovered in-doubt branches).
+        for i in self._crashed_shards():
+            router._reopen(i)
+        # 3. Release locks of interrupted transactions' unprepared
+        #    branches (prepared ones are settled by the decisions).
+        for xid in self._orphan_xids:
+            for i in range(self.config.n_shards):
+                try:
+                    router._call(i, "txn_abort", xid)
+                except (ReproError, TransactionError):
+                    pass
+        # 4. Coordinator recovery: re-deliver every durable decision
+        #    (resolution is idempotent), then presumed-abort whatever
+        #    is still in doubt anywhere.
+        for i in range(self.config.n_shards):
+            router._flush_pending(i)
+        for decision in router.coordinator.durable_decisions():
+            for i in decision.participants:
+                router._call(i, "resolve", decision.gtid,
+                             decision.verdict == "commit")
+        for i in range(self.config.n_shards):
+            for gtid in router._call(i, "indoubt"):
+                verdict = router.coordinator.decision_of(gtid)
+                router._call(i, "resolve", gtid, verdict == "commit")
+        # 5. Atomicity check: after coordinator recovery nothing may
+        #    remain in doubt anywhere (the model side — all-or-none
+        #    visibility of each uncertain gtid's staged effects — was
+        #    settled at interruption time and is enforced by the final
+        #    state comparison below).
+        for i in range(self.config.n_shards):
+            leftover = router._call(i, "indoubt")
+            if leftover:
+                self.violation(
+                    f"shard {i} still in doubt about {leftover} after "
+                    f"coordinator recovery")
+        # 5b. Finish pending on-demand restart work everywhere: loser
+        #     undo is lock-driven and the oracle scan takes no locks,
+        #     so un-drained losers would masquerade as durable state.
+        for i in range(self.config.n_shards):
+            router._call(i, "finish_restart")
+        # 6. The oracle: global visible state == the settled model.
+        state = dict(router.scan())
+        if state != self.model:
+            missing = sorted(set(self.model) - set(state))[:5]
+            extra = sorted(set(state) - set(self.model))[:5]
+            wrong = sorted(k for k in set(state) & set(self.model)
+                           if state[k] != self.model[k])[:5]
+            self.violation(
+                f"final state diverged from model: missing={missing} "
+                f"extra={extra} wrong={wrong}")
+        self.result.reopens = router.reopens
+
+    # -- driver --------------------------------------------------------
+    def run(self, events: list[Event]) -> ShardChaosResult:
+        self.result.events = events
+        self.result.event_counts = dict(Counter(e.kind for e in events))
+        handlers = {
+            "client": self._do_client,
+            "xtxn": self._do_xtxn,
+            "shard_crash": self._do_shard_crash,
+            "shard_partition": self._do_shard_partition,
+            "drain": self._do_drain,
+            "checkpoint": self._do_checkpoint,
+        }
+        try:
+            for event in events:
+                self.trace(event.describe())
+                handlers[event.kind](dict(event.payload))
+            self.finalize()
+        except Exception as exc:  # noqa: BLE001 - any escape is a failure
+            self.violation(f"harness exception: {type(exc).__name__}: {exc}")
+        finally:
+            try:
+                self.router.close()
+            except Exception:  # noqa: BLE001
+                pass
+        return self.result
+
+
+def execute_schedule(config: ShardChaosConfig,
+                     events: list[Event]) -> ShardChaosResult:
+    """Pure function of ``(config, events)`` — bit-identical traces."""
+    return _Run(config).run(events)
+
+
+def shrink_schedule(config: ShardChaosConfig,
+                    events: list[Event]) -> list[Event]:
+    """Greedy event deletion: keep removals that still fail."""
+    current = list(events)
+    runs = 0
+    improved = True
+    while improved and runs < config.max_shrink_runs:
+        improved = False
+        for i in range(len(current)):
+            candidate = current[:i] + current[i + 1:]
+            runs += 1
+            if runs > config.max_shrink_runs:
+                break
+            if not execute_schedule(config, candidate).ok:
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+def run_chaos(config: ShardChaosConfig) -> ShardChaosResult:
+    """Generate, execute, and (on failure) shrink one seed's schedule."""
+    events = generate_schedule(config)
+    result = execute_schedule(config, events)
+    if not result.ok and config.shrink:
+        result.shrunk = shrink_schedule(config, events)
+    return result
+
+
+@dataclass
+class ShardCampaignResult:
+    """Aggregate of a multi-seed campaign."""
+
+    runs: int = 0
+    failures: list[ShardChaosResult] = field(default_factory=list)
+    committed_txns: int = 0
+    xtxn_committed: int = 0
+    interrupted_commits: int = 0
+    served_while_down: int = 0
+    reopens: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_campaign(n_seeds: int, base: ShardChaosConfig | None = None,
+                 start_seed: int = 0) -> ShardCampaignResult:
+    campaign = ShardCampaignResult()
+    template = base if base is not None else ShardChaosConfig()
+    for seed in range(start_seed, start_seed + n_seeds):
+        config = ShardChaosConfig(
+            seed=seed, n_shards=template.n_shards,
+            n_events=template.n_events, n_clients=template.n_clients,
+            n_keys=template.n_keys, restart_mode=template.restart_mode,
+            shrink=template.shrink,
+            max_shrink_runs=template.max_shrink_runs,
+            capacity_pages=template.capacity_pages,
+            buffer_capacity=template.buffer_capacity)
+        result = run_chaos(config)
+        campaign.runs += 1
+        campaign.committed_txns += result.committed_txns
+        campaign.xtxn_committed += result.xtxn_committed
+        campaign.interrupted_commits += result.interrupted_commits
+        campaign.served_while_down += result.served_while_down
+        campaign.reopens += result.reopens
+        if not result.ok:
+            campaign.failures.append(result)
+    return campaign
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="sharded chaos harness (2PC + per-shard restart)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--events", type=int, default=60)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--restart", choices=("eager", "on_demand"),
+                        default="on_demand")
+    parser.add_argument("--campaign", type=int, default=0,
+                        help="run this many seeds instead of one")
+    parser.add_argument("--trace", action="store_true")
+    args = parser.parse_args(argv)
+    base = ShardChaosConfig(seed=args.seed, n_events=args.events,
+                            n_shards=args.shards,
+                            restart_mode=args.restart)
+    if args.campaign:
+        campaign = run_campaign(args.campaign, base, start_seed=args.seed)
+        print(f"campaign: {campaign.runs} runs, "
+              f"{campaign.committed_txns} commits "
+              f"({campaign.xtxn_committed} cross-shard), "
+              f"{campaign.interrupted_commits} interrupted mid-2PC, "
+              f"{campaign.reopens} shard reopens, "
+              f"{campaign.served_while_down} served-while-down probes, "
+              f"{len(campaign.failures)} failures")
+        for failure in campaign.failures:
+            print(failure.trace_text())
+        return 0 if campaign.ok else 1
+    result = run_chaos(base)
+    if args.trace or not result.ok:
+        print(result.trace_text())
+    else:
+        print(f"seed {args.seed}: PASS "
+              f"({result.committed_txns} commits, "
+              f"{result.xtxn_committed} cross-shard, "
+              f"{result.interrupted_commits} interrupted, "
+              f"{result.reopens} reopens)")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -170,6 +170,60 @@ class TransactionManager:
                     # above shipped every batched commit in one send.
                     self.log.ensure_replicated(batch[-1])
 
+    # ------------------------------------------------------------------
+    # Two-phase commit participation (sharded deployments)
+    # ------------------------------------------------------------------
+    def prepare(self, txn: Transaction, gtid: int) -> int:
+        """Phase one of 2PC: vote yes and make the vote survive a crash.
+
+        Appends a PREPARE record carrying the global transaction id and
+        forces the log: after this returns, a crash leaves the
+        transaction *in doubt* — restart analysis re-registers it
+        (locks re-acquired) instead of rolling it back, and the
+        coordinator's decision finishes it via
+        :meth:`commit_prepared` / :meth:`abort_prepared`.  The
+        transaction keeps its locks and stays in the active table.
+        """
+        self._require_active(txn)
+        if txn.is_system:
+            raise TransactionError(
+                f"system transaction {txn.txn_id} cannot be prepared")
+        record = LogRecord(LogRecordKind.PREPARE, txn_id=txn.txn_id,
+                           prev_lsn=txn.last_lsn, gtid=gtid)
+        lsn = self.log.append(record)
+        txn.note_logged(lsn)
+        self.log.commit_force(lsn)
+        txn.state = TxnState.PREPARED
+        self.stats.bump("txns_prepared")
+        return lsn
+
+    def commit_prepared(self, txn: Transaction) -> int:
+        """Phase two, decision = commit: finish a prepared transaction."""
+        self._require_prepared(txn)
+        record = LogRecord(LogRecordKind.COMMIT, txn_id=txn.txn_id,
+                           prev_lsn=txn.last_lsn)
+        lsn = self.log.append(record)
+        txn.note_logged(lsn)
+        self.log.commit_force(lsn)
+        txn.state = TxnState.COMMITTED
+        self.stats.bump("user_txns_committed")
+        self.stats.bump("prepared_txns_committed")
+        self._finish(txn)
+        return lsn
+
+    def abort_prepared(self, txn: Transaction, ctx: UndoContext) -> None:
+        """Phase two, decision = abort: roll back a prepared transaction."""
+        self._require_prepared(txn)
+        txn.state = TxnState.ACTIVE  # rollback logs against an active txn
+        self.abort(txn, ctx)
+        self.stats.bump("prepared_txns_aborted")
+
+    def _require_prepared(self, txn: Transaction) -> None:
+        if txn.state != TxnState.PREPARED:
+            raise TransactionError(
+                f"transaction {txn.txn_id} is {txn.state.value}, "
+                f"not prepared")
+
     def abort(self, txn: Transaction, ctx: UndoContext) -> None:
         """Roll back all of ``txn``'s updates and write the ABORT record."""
         self._require_active(txn)

@@ -14,6 +14,9 @@ from repro.wal.lsn import NULL_LSN
 
 class TxnState(enum.Enum):
     ACTIVE = "active"
+    #: 2PC participant vote logged; the transaction holds its locks and
+    #: awaits the coordinator's decision (commit or roll back)
+    PREPARED = "prepared"
     COMMITTED = "committed"
     ABORTED = "aborted"
 

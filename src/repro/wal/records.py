@@ -53,6 +53,7 @@ class LogRecordKind(enum.IntEnum):
     CHECKPOINT_END = 11
     BACKUP_PAGE = 12        #: an explicit per-page backup copy was taken
     BACKUP_FULL = 13        #: a full database backup completed
+    PREPARE = 14            #: 2PC participant vote: txn is in doubt
 
 
 class BackupRefKind(enum.IntEnum):
@@ -218,6 +219,7 @@ class LogRecord:
     backup_ref: BackupRef | None = None      #: PRI_UPDATE / BACKUP_PAGE
     checkpoint: CheckpointData | None = None #: CHECKPOINT_END
     backup_id: int = 0                       #: BACKUP_FULL
+    gtid: int = 0                            #: PREPARE (global txn id)
 
     # ------------------------------------------------------------------
     # Serialization
@@ -250,7 +252,7 @@ class LogRecord:
             return 17
         if kind == LogRecordKind.CHECKPOINT_END:
             return 4 + (self.checkpoint or CheckpointData()).encoded_size()
-        if kind == LogRecordKind.BACKUP_FULL:
+        if kind in (LogRecordKind.BACKUP_FULL, LogRecordKind.PREPARE):
             return 8
         # COMMIT, ABORT, TXN_END, SYS_COMMIT, CHECKPOINT_BEGIN
         return 0
@@ -302,6 +304,9 @@ class LogRecord:
             return checkpoint.encode_into(buf, pos + 4)
         if kind == LogRecordKind.BACKUP_FULL:
             _I64.pack_into(buf, pos, self.backup_id)
+            return pos + 8
+        if kind == LogRecordKind.PREPARE:
+            _I64.pack_into(buf, pos, self.gtid)
             return pos + 8
         return pos
 
@@ -355,6 +360,8 @@ class LogRecord:
             self.checkpoint = CheckpointData.decode(data, pos + 4)
         elif kind == LogRecordKind.BACKUP_FULL:
             (self.backup_id,) = _I64.unpack_from(data, pos)
+        elif kind == LogRecordKind.PREPARE:
+            (self.gtid,) = _I64.unpack_from(data, pos)
 
     # ------------------------------------------------------------------
     # Helpers

@@ -24,6 +24,7 @@ import random
 import threading
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigError
 from repro.sync import Mutex
 
 #: Annual probability that a nearline disk develops >= 1 latent sector
@@ -151,9 +152,9 @@ class ClientFleet:
     def __init__(self, n_clients: int, seed: int, key_space: int,
                  max_ops_per_txn: int = 4, abort_fraction: float = 0.1) -> None:
         if n_clients <= 0:
-            raise ValueError("need at least one client")
+            raise ConfigError("need at least one client")
         if key_space <= 0:
-            raise ValueError("need a positive key space")
+            raise ConfigError("need a positive key space")
         self.n_clients = n_clients
         self.seed = seed
         self.key_space = key_space
@@ -371,3 +372,81 @@ class ThreadedFleetRunner:
             commit_lsn = session.commit()
             self.oracle.record_commit(commit_lsn, staged)
             self._tally("committed")
+
+
+# ----------------------------------------------------------------------
+# Facade mode: the fleet driven through the public Client API
+# ----------------------------------------------------------------------
+class FacadeFleetRunner:
+    """Runs fleet action streams through any :class:`repro.client.
+    Client` — the backend-agnostic driver of the differential suite.
+
+    One client at a time, actions interleaved round-robin across fleet
+    clients, every transaction through ``client.txn()``.  Because the
+    action streams are pure functions of ``(seed, client, seq)`` and
+    execution is sequential, the committed-effects ``model`` is exact:
+    any backend given the same fleet must end with ``client.scan()``
+    equal to the model — whether it is one engine or eight processes
+    behind a 2PC router.
+    """
+
+    VALUE_WIDTH = ThreadedFleetRunner.VALUE_WIDTH
+
+    def __init__(self, client, fleet: ClientFleet,  # noqa: ANN001
+                 actions_per_client: int) -> None:
+        self.client = client
+        self.fleet = fleet
+        self.actions_per_client = actions_per_client
+        self.report = ThreadedFleetReport()
+        #: committed key -> value shadow (None entries are removed)
+        self.model: dict[bytes, bytes] = {}
+
+    def seed_key(self, key: bytes, value: bytes) -> None:
+        self.client.put(key, value)
+        self.model[key] = value
+
+    def run(self) -> ThreadedFleetReport:
+        for seq in range(self.actions_per_client):
+            for client_id in range(self.fleet.n_clients):
+                self._execute(self.fleet.next_action(client_id))
+        return self.report
+
+    def _execute(self, action: ClientAction) -> None:
+        from repro.errors import TransactionAborted
+
+        staged: dict[bytes, bytes | None] = {}
+        try:
+            with self.client.txn() as t:
+                for verb, key_index, payload in action.ops:
+                    key = b"k%06d" % key_index
+                    payload = payload[:self.VALUE_WIDTH].ljust(
+                        self.VALUE_WIDTH, b".")
+                    self.report.ops += 1
+                    if verb == "lookup":
+                        t.get(key)
+                        self.report.lookups += 1
+                    elif verb == "delete":
+                        if t.delete(key):
+                            staged[key] = None
+                    else:  # update / insert intents both upsert
+                        t.put(key, payload)
+                        staged[key] = payload
+                if action.fate == "abort":
+                    raise _IntentionalAbort()
+        except _IntentionalAbort:
+            self.report.aborted += 1
+            return
+        except TransactionAborted:
+            self.report.conflicts += 1
+            return
+        self.report.committed += 1
+        for key, value in staged.items():
+            if value is None:
+                self.model.pop(key, None)
+            else:
+                self.model[key] = value
+
+
+class _IntentionalAbort(Exception):
+    """Raised inside ``client.txn()`` to trigger its abort path for
+    actions fated to abort (then swallowed by the runner)."""

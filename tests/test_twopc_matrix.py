@@ -1,0 +1,350 @@
+"""Two-phase commit crash matrix: every protocol point, both layers.
+
+The engine layer is exercised directly (prepare / crash / restart /
+resolve), the router layer through the commit hook failpoints.  The
+matrix covers a crash:
+
+* before any prepare               -> both branches abort (plain losers)
+* after one participant prepared   -> presumed abort everywhere
+* after all prepared, no decision  -> presumed abort (coordinator loss
+                                      between prepare and decision)
+* after the decision was forced    -> commit everywhere, across crashes
+* after a partial phase two        -> the lagging shard still commits
+* coordinator log loses unforced   -> the decision never existed
+"""
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.engine.database import Database
+from repro.errors import RecoveryError
+from repro.shard.config import ShardConfig
+from repro.shard.router import ShardRouter
+from repro.shard.twopc import CoordinatorLog
+from repro.txn.locks import LockConflict
+
+
+def make_db(restart_mode="eager"):
+    db = Database(EngineConfig(restart_mode=restart_mode))
+    tree = db.create_index()
+    return db, tree
+
+
+def lookup_or_none(tree, key):
+    from repro.errors import KeyNotFound
+    try:
+        return tree.lookup(key)
+    except KeyNotFound:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Engine-level primitives
+# ----------------------------------------------------------------------
+class TestEnginePrepare:
+    def test_prepared_txn_survives_crash_as_indoubt(self):
+        db, tree = make_db()
+        txn = db.begin()
+        tree.insert(txn, b"k", b"v")
+        db.prepare(txn, gtid=42)
+        db.crash()
+        report = db.restart()
+        assert report.indoubt_gtids == [42]
+        assert 42 in db.indoubt
+
+    def test_indoubt_branch_holds_its_locks(self):
+        db, tree = make_db()
+        txn = db.begin()
+        tree.insert(txn, b"k", b"v")
+        db.prepare(txn, gtid=7)
+        db.crash()
+        db.restart()
+        other = db.begin()
+        with pytest.raises(LockConflict):
+            db.locks.acquire(other.txn_id, b"k")
+        db.abort(other)
+
+    def test_resolve_commit_makes_effects_durable(self):
+        db, tree = make_db()
+        txn = db.begin()
+        tree.insert(txn, b"k", b"v")
+        db.prepare(txn, gtid=7)
+        db.crash()
+        db.restart()
+        db.resolve_indoubt(7, commit=True)
+        assert 7 not in db.indoubt
+        db.crash()
+        db.restart()
+        assert lookup_or_none(db.tree(tree.index_id), b"k") == b"v"
+
+    def test_resolve_abort_rolls_back(self):
+        db, tree = make_db()
+        txn = db.begin()
+        tree.insert(txn, b"k", b"v")
+        db.prepare(txn, gtid=7)
+        db.crash()
+        db.restart()
+        db.resolve_indoubt(7, commit=False)
+        assert lookup_or_none(db.tree(tree.index_id), b"k") is None
+
+    def test_resolve_unknown_gtid_raises(self):
+        db, _tree = make_db()
+        with pytest.raises(RecoveryError):
+            db.resolve_indoubt(999, commit=True)
+
+    def test_indoubt_survives_checkpoint_and_second_crash(self):
+        db, tree = make_db()
+        txn = db.begin()
+        tree.insert(txn, b"k", b"v")
+        db.prepare(txn, gtid=13)
+        db.crash()
+        db.restart()
+        db.checkpoint()
+        db.crash()
+        report = db.restart()
+        assert report.indoubt_gtids == [13]
+        db.resolve_indoubt(13, commit=True)
+        assert lookup_or_none(db.tree(tree.index_id), b"k") == b"v"
+
+    def test_live_prepared_branch_commit_and_abort(self):
+        db, tree = make_db()
+        t1 = db.begin()
+        tree.insert(t1, b"a", b"1")
+        db.prepare(t1, gtid=1)
+        db.commit_prepared(t1)
+        t2 = db.begin()
+        tree.insert(t2, b"b", b"2")
+        db.prepare(t2, gtid=2)
+        db.abort_prepared(t2)
+        assert lookup_or_none(tree, b"a") == b"1"
+        assert lookup_or_none(tree, b"b") is None
+
+    def test_on_demand_restart_registers_indoubt(self):
+        db, tree = make_db(restart_mode="on_demand")
+        txn = db.begin()
+        tree.insert(txn, b"k", b"v")
+        db.prepare(txn, gtid=5)
+        db.crash()
+        report = db.restart()
+        assert report.indoubt_gtids == [5]
+        db.finish_restart()
+        # The in-doubt branch must not have been undone as a loser.
+        db.resolve_indoubt(5, commit=True)
+        assert lookup_or_none(db.tree(tree.index_id), b"k") == b"v"
+
+
+# ----------------------------------------------------------------------
+# Coordinator log semantics
+# ----------------------------------------------------------------------
+class TestCoordinatorLog:
+    def test_presumed_abort_when_no_decision(self):
+        log = CoordinatorLog()
+        assert log.decision_of(123) == "abort"
+
+    def test_forced_decision_survives_crash(self):
+        log = CoordinatorLog()
+        gtid = log.allocate_gtid()
+        log.log_decision(gtid, "commit", (0, 1))
+        log.crash()
+        assert log.decision_of(gtid) == "commit"
+
+    def test_unforced_decision_is_lost(self):
+        log = CoordinatorLog()
+        gtid = log.allocate_gtid()
+        log.log_decision(gtid, "commit", (0, 1), force=False)
+        log.crash()
+        assert log.decision_of(gtid) == "abort"
+
+    def test_gtid_counter_survives_crash(self):
+        log = CoordinatorLog()
+        first = log.allocate_gtid()
+        log.crash()
+        assert log.allocate_gtid() > first
+
+    def test_bad_verdict_rejected(self):
+        with pytest.raises(ValueError):
+            CoordinatorLog().log_decision(1, "maybe", (0,))
+
+
+# ----------------------------------------------------------------------
+# Router-level crash matrix (inproc shards, commit-hook failpoints)
+# ----------------------------------------------------------------------
+class _Stop(Exception):
+    pass
+
+
+def make_router(n_shards=4):
+    return ShardRouter(ShardConfig(n_shards=n_shards, transport="inproc"))
+
+
+def cross_shard_keys(router, count):
+    """Distinct keys guaranteed to live on different shards."""
+    chosen, seen = [], set()
+    i = 0
+    while len(chosen) < count:
+        key = b"key%06d" % i
+        shard = router.shard_of(key)
+        if shard not in seen:
+            seen.add(shard)
+            chosen.append(key)
+        i += 1
+    return chosen
+
+
+def interrupted_commit(router, keys, stage, crash_shard=True):
+    """Run a cross-shard commit and cut it at ``stage``; returns the
+    gtid the commit allocated."""
+    fired = []
+
+    def hook(hook_stage, shard_id):
+        if hook_stage == stage and not fired:
+            fired.append(shard_id)
+            if crash_shard and shard_id is not None:
+                router.shards[shard_id].worker.execute(("crash",))
+            raise _Stop()
+
+    gtid = router.coordinator._next_gtid
+    router.commit_hook = hook
+    txn = router.txn()
+    for i, key in enumerate(keys):
+        txn.put(key, b"v%d" % i)
+    with pytest.raises(_Stop):
+        txn.commit()
+    router.commit_hook = None
+    assert fired, "failpoint never fired"
+    return gtid
+
+
+def recover_all(router):
+    """Crash-and-reopen every shard, then settle leftovers from the
+    decision log — the harness's finalize in miniature."""
+    for i, shard in enumerate(router.shards):
+        shard.worker.execute(("crash",))
+        router._reopen(i)
+    for decision in router.coordinator.durable_decisions():
+        for i in decision.participants:
+            router._call(i, "resolve", decision.gtid,
+                         decision.verdict == "commit")
+    for i in range(router.config.n_shards):
+        assert router._call(i, "indoubt") == []
+        router._call(i, "finish_restart")
+
+
+class TestRouterCrashMatrix:
+    def test_crash_before_any_prepare(self):
+        router = make_router()
+        k1, k2 = cross_shard_keys(router, 2)
+        txn = router.txn()
+        txn.put(k1, b"a")
+        txn.put(k2, b"b")
+        # No commit at all: both branches die with their shards.
+        recover_all(router)
+        assert router.get(k1) is None
+        assert router.get(k2) is None
+        router.close()
+
+    def test_crash_after_one_prepare_presumed_abort(self):
+        router = make_router()
+        keys = cross_shard_keys(router, 2)
+        gtid = interrupted_commit(router, keys, "after_prepare")
+        assert router.coordinator.decision_of(gtid) == "abort"
+        recover_all(router)
+        for key in keys:
+            assert router.get(key) is None
+        router.close()
+
+    def test_coordinator_loss_after_all_prepared(self):
+        # All participants prepared, the decision never forced: the
+        # coordinator "dies" between phases.  Presumed abort.
+        router = make_router()
+        keys = cross_shard_keys(router, 3)
+        txn = router.txn()
+        for i, key in enumerate(keys):
+            txn.put(key, b"v%d" % i)
+        gtid = router.coordinator.allocate_gtid()
+        for idx in sorted(txn.branches):
+            router._call(idx, "prepare", txn.xid, gtid)
+        router.coordinator.crash()  # no decision was ever logged
+        assert router.coordinator.decision_of(gtid) == "abort"
+        recover_all(router)
+        for key in keys:
+            assert router.get(key) is None
+        router.close()
+
+    def test_crash_after_decision_logged_commits_everywhere(self):
+        router = make_router()
+        keys = cross_shard_keys(router, 3)
+        gtid = interrupted_commit(router, keys, "after_decision",
+                                  crash_shard=False)
+        assert router.coordinator.decision_of(gtid) == "commit"
+        recover_all(router)
+        for i, key in enumerate(keys):
+            assert router.get(key) == b"v%d" % i
+        router.close()
+
+    def test_crash_after_partial_commit_lagging_shard_catches_up(self):
+        router = make_router()
+        keys = cross_shard_keys(router, 3)
+        gtid = interrupted_commit(router, keys, "after_commit")
+        assert router.coordinator.decision_of(gtid) == "commit"
+        recover_all(router)
+        for i, key in enumerate(keys):
+            assert router.get(key) == b"v%d" % i
+        router.close()
+
+    def test_prepare_refusal_aborts_whole_transaction(self):
+        from repro.errors import TransactionAborted
+
+        router = make_router()
+        keys = cross_shard_keys(router, 2)
+        txn = router.txn()
+        for key in keys:
+            txn.put(key, b"x")
+        # Partition one participant right before commit: phase one
+        # cannot complete, so the whole transaction aborts.
+        victim = router.shard_of(keys[1])
+        router.shards[victim].partitioned = True
+        with pytest.raises(TransactionAborted):
+            txn.commit()
+        router.shards[victim].partitioned = False
+        recover_all(router)
+        for key in keys:
+            assert router.get(key) is None
+        router.close()
+
+    def test_unavailable_participant_in_phase_two_gets_queued(self):
+        router = make_router()
+        keys = cross_shard_keys(router, 2)
+        victim = router.shard_of(keys[1])
+
+        def hook(stage, shard_id):
+            # Sever the victim after the decision: its resolution
+            # must queue and apply on reconnection.
+            if stage == "after_decision":
+                router.shards[victim].partitioned = True
+
+        router.commit_hook = hook
+        txn = router.txn()
+        for key in keys:
+            txn.put(key, b"q")
+        txn.commit()  # succeeds: decision is durable, delivery queued
+        router.commit_hook = None
+        assert router._pending[victim]
+        router.shards[victim].partitioned = False
+        assert router.get(keys[1]) == b"q"  # flush happens on next call
+        assert not router._pending[victim]
+        router.close()
+
+    def test_reopen_resolves_from_decision_log(self):
+        router = make_router()
+        keys = cross_shard_keys(router, 2)
+        gtid = interrupted_commit(router, keys, "after_decision",
+                                  crash_shard=False)
+        # Crash one participant; merely touching it again must reopen
+        # it and commit its in-doubt branch from the decision log.
+        victim = router.shard_of(keys[0])
+        router.shards[victim].worker.execute(("crash",))
+        assert router.get(keys[0]) == b"v0"
+        assert router.reopens == 1
+        assert gtid not in router.shards[victim].worker.db.indoubt
+        router.close()

@@ -167,6 +167,8 @@ def _record_strategy():
                   checkpoint=checkpoints),
         st.builds(LogRecord, st.just(LogRecordKind.BACKUP_FULL), **header,
                   backup_id=ids),
+        st.builds(LogRecord, st.just(LogRecordKind.PREPARE), **header,
+                  gtid=ids),
     )
 
 
