@@ -84,6 +84,23 @@ TRACKED += [
 ]
 
 
+#: Dip snapshot (BENCH_dip.json): everything is simulated time, so the
+#: quantities are deterministic.  Time-to-recovery is measured in op
+#: indices at sliding-window granularity (one step of slack either way
+#: is legitimate), hence the one-step-friendly tolerances; the >= 30%
+#: improvement floor and the <= 25% waste ceiling are probe criteria
+#: and surface through ``probe_failures``.
+TRACKED += [
+    (("dip", "improvement"), "higher"),
+    (("dip", "off", "time_to_p99_recovery_ops"), "lower"),
+    (("dip", "semantic", "time_to_p99_recovery_ops"), "lower", 1.0),
+    (("dip", "prefetch", "hit_ratio"), "higher"),
+    # waste_ratio is deliberately untracked here: its baseline is 0.0,
+    # which the delta gate would turn into "any waste at all fails";
+    # the <= 25% ceiling is enforced as a probe criterion instead.
+]
+
+
 def lookup(snapshot: dict, path: tuple):
     node = snapshot
     for step in path:

@@ -48,7 +48,7 @@ import time
 from typing import Callable
 
 from repro.buffer.eviction import ClockEviction
-from repro.errors import BufferPoolError, SinglePageFailure
+from repro.errors import BufferPoolError, ReproError, SinglePageFailure
 from repro.page.page import Page
 from repro.sim.stats import Stats
 from repro.storage.device import StorageDevice
@@ -60,7 +60,8 @@ from repro.wal.lsn import NULL_LSN
 class Frame:
     """One buffer-pool frame."""
 
-    __slots__ = ("page", "dirty", "rec_lsn", "pin_count", "latch", "loading")
+    __slots__ = ("page", "dirty", "rec_lsn", "pin_count", "latch", "loading",
+                 "prefetched")
 
     def __init__(self, page: Page | None) -> None:
         self.page = page
@@ -72,6 +73,9 @@ class Frame:
         #: running under the latch; such a frame is pinned by the
         #: loading thread and invisible to dirty/eviction bookkeeping.
         self.loading = False
+        #: True for a speculatively fetched frame until its first
+        #: demand hit (a prefetch that leaves without one was wasted)
+        self.prefetched = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         page_id = None if self.page is None else self.page.page_id
@@ -103,6 +107,23 @@ class BufferPool:
         #: pending restart redo forward in place and returns the rec_lsn
         #: the new frame must be marked dirty with (None = page clean)
         self.redo_on_fix = None  # Callable[[Page], int | None] | None
+        #: access-pattern model fed by every demand fix; None = the
+        #: prefetch feature is off and the pool behaves exactly as it
+        #: always has (no observation, no speculative fetches)
+        self.prefetcher = None  # repro.buffer.prefetch.Prefetcher | None
+        #: lowest page id prefetch may touch (the engine sets this to
+        #: its first data page so metadata/PRI pages are never
+        #: speculatively fetched) and a callable upper bound (the
+        #: engine's allocated-page count); device capacity caps both
+        self.prefetch_floor = 0
+        self.page_bound = None  # Callable[[], int] | None
+        #: cap on concurrently resident speculative frames, so read-
+        #: ahead can never crowd out the demand working set.  To make
+        #: room a prefetch may evict a *clean, unpinned* frame (clock
+        #: order — the coldest), but never a pinned or dirty one: a
+        #: speculative read must never force a write-back or steal a
+        #: frame someone holds.
+        self.prefetch_quota = max(1, capacity // 4)
         self._frames: dict[int, Frame] = {}
         self._policy = ClockEviction()
         self._mutex = Mutex()
@@ -124,10 +145,12 @@ class BufferPool:
         """
         while True:
             wait_frame = None
+            hit_page = None
             with self._mutex:
                 frame = self._frames.get(page_id)
                 if frame is None:
                     self.stats.bump("buffer_misses")
+                    self.stats.bump("fetch_demand")
                     self._make_room()
                     frame = Frame(None)
                     frame.loading = True
@@ -139,15 +162,24 @@ class BufferPool:
                     wait_frame = frame
                 else:
                     self.stats.bump("buffer_hits")
+                    if frame.prefetched:
+                        # First demand hit on a speculative frame: the
+                        # prefetch paid off.
+                        frame.prefetched = False
+                        self.stats.bump("prefetch_hits")
                     self._policy.touched(page_id)
                     frame.pin_count += 1
-                    return frame.page
+                    hit_page = frame.page
             if wait_frame is not None:
                 # Block until the loader releases the latch, then retry
                 # the lookup — the load may have failed and vanished.
                 with wait_frame.latch:
                     pass
                 continue
+            if hit_page is not None:
+                if self.prefetcher is not None:
+                    self.prefetcher.observe(page_id, hit_page)
+                return hit_page
             try:
                 page = self.fetcher(page_id)
                 rec_lsn = (self.redo_on_fix(page)
@@ -168,6 +200,8 @@ class BufferPool:
                 frame.rec_lsn = rec_lsn
             frame.loading = False
             frame.latch.release()
+            if self.prefetcher is not None:
+                self.prefetcher.observe(page_id, page)
             return page
 
     def fix_new(self, page: Page) -> Page:
@@ -187,6 +221,83 @@ class BufferPool:
             self._frames[page_id] = frame
             self._policy.admitted(page_id)
             return frame.page
+
+    def prefetch(self, page_id: int) -> bool:
+        """Speculatively fetch one page, unpinned; returns True if a
+        read was issued.
+
+        The speculative twin of :meth:`fix`, with strictly weaker
+        claims on the pool: at most ``prefetch_quota`` speculative
+        frames may be resident at once, room is made only by evicting
+        a clean unpinned victim (never a pinned or dirty frame — a
+        full pool of those declines the fetch), pages outside
+        ``[prefetch_floor, page_bound())`` are refused, and engine
+        errors are swallowed (a speculative read's failure is the next
+        demand fix's problem, which takes the full detection/repair
+        path).  The load itself uses the same placeholder +
+        frame-latch protocol as a demand fix and runs the same fetcher
+        and ``redo_on_fix`` hooks, so a racing demand fix waits on the
+        latch and any recovery-on-first-fix work still runs exactly
+        once.
+        """
+        bound = self.page_bound() if self.page_bound is not None else None
+        capacity_pages = getattr(self.device, "capacity_pages", None)
+        if bound is None:
+            bound = capacity_pages
+        elif capacity_pages is not None:
+            bound = min(bound, capacity_pages)
+        if (page_id < self.prefetch_floor
+                or (bound is not None and page_id >= bound)):
+            self.stats.bump("prefetch_skipped_bounds")
+            return False
+        with self._mutex:
+            if page_id in self._frames or page_id in self._repairing:
+                self.stats.bump("prefetch_skipped_resident")
+                return False
+            speculative = sum(1 for f in self._frames.values()
+                              if f.prefetched)
+            if speculative >= self.prefetch_quota:
+                self.stats.bump("prefetch_skipped_quota")
+                return False
+            while len(self._frames) >= self.capacity:
+                victim = self._policy.choose_victim(
+                    lambda pid: (self._frames[pid].pin_count == 0
+                                 and not self._frames[pid].dirty))
+                if victim is None:
+                    # Nothing clean and unpinned to displace: a
+                    # speculative read never flushes or unpins.
+                    self.stats.bump("prefetch_skipped_full")
+                    return False
+                self.evict(victim)
+            frame = Frame(None)
+            frame.loading = True
+            frame.prefetched = True
+            frame.pin_count = 1  # the loader's pin
+            frame.latch.acquire()  # released when the load ends
+            self._frames[page_id] = frame
+            self._policy.admitted(page_id)
+        try:
+            page = self.fetcher(page_id)
+            rec_lsn = (self.redo_on_fix(page)
+                       if self.redo_on_fix is not None else None)
+        except BaseException as exc:
+            with self._mutex:
+                del self._frames[page_id]
+                self._policy.removed(page_id)
+            frame.latch.release()
+            if isinstance(exc, ReproError):
+                self.stats.bump("prefetch_errors")
+                return False
+            raise
+        frame.page = page
+        if rec_lsn is not None:
+            frame.dirty = True
+            frame.rec_lsn = rec_lsn
+        frame.loading = False
+        frame.pin_count = 0  # speculative frames sit unpinned
+        frame.latch.release()
+        self.stats.bump("fetch_prefetch")
+        return True
 
     def unfix(self, page_id: int) -> None:
         with self._mutex:
@@ -366,6 +477,9 @@ class BufferPool:
                 raise BufferPoolError(f"cannot evict pinned page {page_id}")
             if frame.dirty:
                 self.flush_page(page_id)
+            if frame.prefetched:
+                # Speculatively fetched, never demanded: wasted I/O.
+                self.stats.bump("prefetch_wasted")
             del self._frames[page_id]
             self._policy.removed(page_id)
             self.stats.bump("pages_evicted")
@@ -380,6 +494,8 @@ class BufferPool:
             frame = self._require(page_id)
             if frame.pin_count > 0:
                 raise BufferPoolError(f"cannot drop pinned page {page_id}")
+            if frame.prefetched:
+                self.stats.bump("prefetch_wasted")
             del self._frames[page_id]
             self._policy.removed(page_id)
             self.stats.bump("frames_dropped")
@@ -387,6 +503,11 @@ class BufferPool:
     def drop_all(self) -> None:
         """Discard every frame without writing (crash simulation)."""
         with self._mutex:
+            lost = sum(1 for f in self._frames.values() if f.prefetched)
+            if lost:
+                # Speculative frames that never saw a demand hit before
+                # the crash took them: wasted I/O.
+                self.stats.bump("prefetch_wasted", lost)
             self._frames.clear()
             self._policy = ClockEviction()
 

@@ -267,13 +267,23 @@ class RestartRegistry:
     # ------------------------------------------------------------------
     def drain(self, page_budget: int | None = None,
               loser_budget: int | None = None) -> tuple[int, int]:
-        """Resolve pending work in the eager pass's order (pages by
-        ascending id, then losers newest-first), up to the budgets.
-        Returns ``(pages_resolved, losers_resolved)``."""
+        """Resolve pending work up to the budgets; returns
+        ``(pages_resolved, losers_resolved)``.
+
+        Unbudgeted drains (``drain_all``, the checkpoint gate) keep
+        the eager pass's order — pages by ascending id, then losers
+        newest-first — so a finished on-demand restart is
+        log-byte-identical to an eager one.  *Budgeted* drains are
+        where order matters for the latency dip: with a prefetcher
+        attached they recover pages in predicted-next-access order,
+        warming the pre-crash working set before the cold tail.
+        """
         db = self.db
         pages_done = 0
         with self._mutex:
             pending_now = sorted(self.pending_pages)
+        if page_budget is not None and db.prefetcher is not None:
+            pending_now = db.prefetcher.rank(pending_now)
         for page_id in pending_now:
             if page_id not in self.pending_pages:
                 continue  # resolved by a racing fix

@@ -343,21 +343,31 @@ class RestoreRegistry:
     # ------------------------------------------------------------------
     def drain(self, page_budget: int | None = None,
               loser_budget: int | None = None) -> tuple[int, int]:
-        """Resolve pending work in the eager pass's order (pages by
-        ascending id — a sequential sweep of the replacement device —
-        then losers newest-first), up to the budgets.  Returns
-        ``(pages_restored, losers_resolved)``."""
+        """Resolve pending work up to the budgets; returns
+        ``(pages_restored, losers_resolved)``.
+
+        Unbudgeted drains (``drain_all``, eager restore) keep the
+        eager pass's order — pages by ascending id, a sequential
+        sweep of the replacement device, then losers newest-first.
+        *Budgeted* drains with a prefetcher attached restore pages in
+        predicted-next-access order instead, warming the working set
+        first; those restores are priced as random (not sequential)
+        backup reads, since the ranking deliberately breaks the sweep.
+        """
         db = self.db
         pages_done = 0
         with self._mutex:
             pending_now = sorted(self.pending_pages)
+        ranked = page_budget is not None and db.prefetcher is not None
+        if ranked:
+            pending_now = db.prefetcher.rank(pending_now)
         for page_id in pending_now:
             if page_budget is not None and pages_done >= page_budget:
                 break
             with self._mutex:
                 if page_id not in self.pending_pages:
                     continue  # restored by a racing fix
-                self._restore_page_locked(page_id, sequential=True,
+                self._restore_page_locked(page_id, sequential=not ranked,
                                           use_chain=False)
             pages_done += 1
         losers_done = 0

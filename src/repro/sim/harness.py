@@ -111,6 +111,14 @@ REPLICATION_EVENT_MIX = (
     ("failover", 3),
 )
 
+#: extra weights when prefetching is enabled (``ChaosConfig.prefetch``
+#: != "off") — gated exactly like the replication mix, so every
+#: prefetch-off seed expands to a bit-identical schedule
+PREFETCH_EVENT_MIX = (
+    ("prefetch_tick", 6),
+    ("prefetch_toggle", 2),
+)
+
 
 class ScheduledCrashInterrupt(Exception):
     """Raised by an armed clock deadline to cut an engine operation
@@ -141,6 +149,10 @@ class ChaosConfig:
     ack_mode: str = "local_durable"
     #: shipping granularity: ``"tail"`` or ``"segment"``
     ship_mode: str = "tail"
+    #: initial prefetch mode; any value but "off" also mixes the
+    #: prefetch events (service ticks, runtime mode toggles) into the
+    #: schedule
+    prefetch: str = "off"
     #: run the eager-vs-on-demand differential oracle on designated
     #: failure events (check (d))
     differential: bool = True
@@ -162,6 +174,7 @@ class ChaosConfig:
             restore_mode=self.restore_mode,
             backup_policy=BackupPolicy(every_n_updates=24),
             commit_ack_mode=self.ack_mode,
+            prefetch_mode=self.prefetch,
             seed=self.seed,
         )
 
@@ -186,6 +199,7 @@ class ChaosResult:
                   f"restore={self.config.restore_mode} "
                   f"standby={self.config.standby} "
                   f"ack={self.config.ack_mode} "
+                  f"prefetch={self.config.prefetch} "
                   f"events={len(self.events)}")
         lines = [header, *self.trace,
                  "RESULT " + ("PASS" if self.ok else "FAIL")]
@@ -218,6 +232,10 @@ def generate_schedule(config: ChaosConfig) -> list[Event]:
         # every pre-replication (seed, config) expands bit-identically.
         guaranteed = ALL_FAILURE_KINDS
         mix = EVENT_MIX + REPLICATION_EVENT_MIX
+    if config.prefetch != "off":
+        # Same gating for the prefetch events: prefetch-off seeds
+        # (every schedule that predates PR 9) stay bit-identical.
+        mix = mix + PREFETCH_EVENT_MIX
     kinds: list[str] = []
     if config.n_events >= 2 * len(guaranteed):
         kinds.extend(guaranteed)
@@ -255,6 +273,10 @@ def _draw_params(kind: str, rng: random.Random,
         return {"direction": rng.choice(["crash_during_restore",
                                          "media_during_restart"]),
                 "budget": rng.randrange(1, 7)}
+    if kind == "prefetch_tick":
+        return {"budget": rng.randrange(1, 9)}
+    if kind == "prefetch_toggle":
+        return {"mode_rank": rng.randrange(1_000_000)}
     return {}
 
 
@@ -843,6 +865,23 @@ class _Run:
             self.media_fail_now()
             self.recover_media_now(diff=False)
 
+    # -- prefetch events (PR 9) ----------------------------------------
+    def _do_prefetch_tick(self, payload: dict) -> None:
+        """Service the prefetch queue — the only point of a schedule
+        where speculative I/O happens, so runs stay deterministic."""
+        issued = self.db.prefetch_tick(payload["budget"])
+        self.trace(f"prefetch_tick issued={issued}")
+
+    def _do_prefetch_toggle(self, payload: dict) -> None:
+        """Switch the prefetch mode at runtime, cycling off /
+        sequential / semantic (always to a *different* mode)."""
+        current = self.db.config.prefetch_mode
+        options = [m for m in ("off", "sequential", "semantic")
+                   if m != current]
+        mode = options[payload["mode_rank"] % len(options)]
+        self.db.set_prefetch_mode(mode)
+        self.trace(f"prefetch_toggle mode={mode}")
+
     # -- replication events (PR 7) -------------------------------------
     def _do_standby_crash(self, payload: dict) -> None:
         """Toggle: a running standby dies; a dead (or never-attached)
@@ -1125,7 +1164,7 @@ def run_campaign(n_schedules: int, base_seed: int = 0, n_events: int = 40,
                  n_clients: int = 4, n_keys: int = 120,
                  differential: bool = True, shrink: bool = True,
                  standby: bool = False, ack_mode: str = "local_durable",
-                 ship_mode: str = "tail",
+                 ship_mode: str = "tail", prefetch: str = "off",
                  on_result=None) -> CampaignResult:  # noqa: ANN001
     """Run ``n_schedules`` seeded schedules, cycling through all four
     restart x restore mode combinations."""
@@ -1137,7 +1176,7 @@ def run_campaign(n_schedules: int, base_seed: int = 0, n_events: int = 40,
                              restart_mode=restart_mode,
                              restore_mode=restore_mode,
                              standby=standby, ack_mode=ack_mode,
-                             ship_mode=ship_mode,
+                             ship_mode=ship_mode, prefetch=prefetch,
                              differential=differential, shrink=shrink)
         result = run_chaos(config)
         campaign.schedules += 1
@@ -1179,6 +1218,12 @@ def _build_parser() -> argparse.ArgumentParser:
                              "durable implies --standby)")
     parser.add_argument("--ship-mode", choices=["tail", "segment"],
                         default="tail", help="log shipping granularity")
+    parser.add_argument("--prefetch",
+                        choices=["off", "sequential", "semantic"],
+                        default="off",
+                        help="initial prefetch mode; any value but off "
+                             "also mixes prefetch ticks and runtime mode "
+                             "toggles into the schedule")
     parser.add_argument("--no-differential", action="store_true",
                         help="skip the eager-vs-on-demand byte-identity "
                              "check (faster)")
@@ -1230,6 +1275,7 @@ def main(argv: list[str] | None = None) -> int:
                                 == "replicated_durable",
                                 ack_mode=args.ack_mode,
                                 ship_mode=args.ship_mode,
+                                prefetch=args.prefetch,
                                 on_result=report)
         summary = campaign.summary()
         print("campaign " + " ".join(
@@ -1249,6 +1295,7 @@ def main(argv: list[str] | None = None) -> int:
                          == "replicated_durable",
                          ack_mode=args.ack_mode,
                          ship_mode=args.ship_mode,
+                         prefetch=args.prefetch,
                          differential=not args.no_differential,
                          shrink=not args.no_shrink)
     result = run_chaos(config)
