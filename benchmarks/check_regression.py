@@ -84,6 +84,17 @@ TRACKED += [
 ]
 
 
+#: Rebalance snapshot (BENCH_rebalance.json): both makespans are
+#: simulated per-shard time (deterministic), so they take the default
+#: tolerance.  The >= 1.5x floor and the no-lost-key scan diff are
+#: run_all probe criteria and surface through ``probe_failures``.
+TRACKED += [
+    (("skewed_rebalance", "speedup"), "higher"),
+    (("skewed_rebalance", "skewed", "sim_seconds_makespan"), "lower"),
+    (("skewed_rebalance", "rebalanced", "sim_seconds_makespan"), "lower"),
+]
+
+
 #: Dip snapshot (BENCH_dip.json): everything is simulated time, so the
 #: quantities are deterministic.  Time-to-recovery is measured in op
 #: indices at sliding-window granularity (one step of slack either way

@@ -33,6 +33,12 @@ writes a ``BENCH_<tag>.json`` snapshot next to the repo root:
   crashes at 2PC failpoints, partitions, per-shard restart) with the
   cross-shard atomicity oracle clean — written to
   ``BENCH_sharding.json``;
+* **online rebalancing**: a 90/10-skewed workload whose hot slots all
+  start on shard 0, measured on simulated per-shard makespan before
+  and after ``move_slot`` spreads them over the fleet (gated at
+  >= 1.5x speedup with a no-lost-key scan diff), plus a fixed-seed
+  chaos campaign where slot moves race crashes and partitions —
+  written to ``BENCH_rebalance.json``;
 * **per-operation latency** (``benchmarks/latency.py``): p50/p99/p999
   for insert, lookup and commit plus single-thread ops/s on the
   free-I/O profile, best-of-5, gated at >= 3x the pre-rewrite
@@ -438,6 +444,123 @@ def bench_shard_chaos(n_schedules: int = 8) -> dict:
     }
 
 
+def bench_rebalance(n_ops: int = 1200, n_shards: int = 4) -> dict:
+    """Online rebalancing pays on skewed workloads: a 90/10 workload
+    whose hot keys all hash into four slots that the default routing
+    table places on shard 0, measured before and after
+    ``move_slot`` spreads three of those slots over shards 1-3.
+
+    Both measurement windows run the identical op sequence (same RNG
+    seed) of single-key autocommit puts, and both are scored on
+    *simulated* per-shard time — the makespan is the hottest shard's
+    sim-clock delta, so the number is the cost model's verdict on load
+    placement, not the CI host's.  Before the moves the hot shard
+    serializes ~92% of the work; after, the hot slots are spread
+    evenly, so the ideal gain approaches 4x.  Pass criteria: >= 1.5x
+    makespan speedup, and a full-scan key-set diff across the moves
+    (the no-lost-key oracle over the backup + delta + cutover path).
+    """
+    import repro
+    from repro.core.backup import BackupPolicy
+    from repro.shard.routing import slot_of
+
+    engine = repro.EngineConfig(
+        buffer_capacity=512,
+        backup_policy=BackupPolicy(every_n_updates=1_000_000))
+    client = repro.connect(repro.ShardConfig(
+        n_shards=n_shards, transport="inproc", engine=engine))
+    router = client.router
+    n_slots = router.config.n_slots
+
+    # Four slots that epoch 0 (slot % n_shards) all places on shard 0.
+    hot_slots = [s for s in range(0, n_slots, n_shards)][:4]
+    hot_keys = []
+    i = 0
+    while len(hot_keys) < 16 * len(hot_slots):
+        key = b"h%07d" % i
+        if slot_of(key, n_slots) in hot_slots:
+            hot_keys.append(key)
+        i += 1
+    cold_keys = [b"c%07d" % i for i in range(200)]
+
+    rng = random.Random(0xB10C)
+    ops = [rng.choice(hot_keys) if rng.random() < 0.9
+           else rng.choice(cold_keys)
+           for _ in range(n_ops)]
+
+    def run_window() -> tuple[float, list[float]]:
+        before = [router._call(i, "stats")["sim_clock_seconds"]
+                  for i in range(n_shards)]
+        for n, key in enumerate(ops):
+            client.put(key, b"%s|%06d" % (key, n))
+        deltas = [router._call(i, "stats")["sim_clock_seconds"] - before[i]
+                  for i in range(n_shards)]
+        return max(deltas), deltas
+
+    try:
+        for key in hot_keys + cold_keys:
+            client.put(key, key + b"|seed")
+        keys_before = {k for k, _ in client.scan()}
+
+        skewed_makespan, skewed_per_shard = run_window()
+
+        epochs = [client.rebalance_slot(slot, dst)
+                  for slot, dst in zip(hot_slots[1:], range(1, n_shards))]
+        keys_after = {k for k, _ in client.scan()}
+
+        spread_makespan, spread_per_shard = run_window()
+        last = ops[-1]
+        if client.get(last) != b"%s|%06d" % (last, n_ops - 1):
+            raise AssertionError("rebalance probe lost a write")
+    finally:
+        client.close()
+
+    speedup = skewed_makespan / spread_makespan
+    return {
+        "ops": n_ops,
+        "n_shards": n_shards,
+        "hot_slots": hot_slots,
+        "moves": len(epochs),
+        "final_epoch": max(epochs),
+        "skewed": {
+            "sim_seconds_makespan": round(skewed_makespan, 4),
+            "sim_seconds_per_shard": [round(s, 4)
+                                      for s in skewed_per_shard],
+        },
+        "rebalanced": {
+            "sim_seconds_makespan": round(spread_makespan, 4),
+            "sim_seconds_per_shard": [round(s, 4)
+                                      for s in spread_per_shard],
+        },
+        "speedup": round(speedup, 3),
+        "speedup_ok": speedup >= 1.5,
+        "no_keys_lost": keys_before == keys_after,
+    }
+
+
+def bench_rebalance_chaos(n_schedules: int = 4) -> dict:
+    """Rebalance under fire: a fixed-seed campaign (distinct seed
+    range from ``bench_shard_chaos``) where slot moves race crashes,
+    partitions, and 2PC failpoints; the no-lost-key / single-owner /
+    lock-drain oracles must stay clean while moves actually land."""
+    from repro.sim.shard_harness import ShardChaosConfig
+    from repro.sim.shard_harness import run_campaign as run_shard_campaign
+
+    campaign = run_shard_campaign(
+        n_schedules, ShardChaosConfig(n_events=50), start_seed=200)
+    return {
+        "runs": campaign.runs,
+        "slot_moves": campaign.rebalances,
+        "committed_txns": campaign.committed_txns,
+        "shard_reopens": campaign.reopens,
+        "all_passed": campaign.ok,
+        "failing_seeds": [f.config.seed for f in campaign.failures],
+        "machinery_exercised": (campaign.rebalances > 0
+                                and campaign.reopens > 0
+                                and campaign.committed_txns > 0),
+    }
+
+
 #: probe name -> (section key, list of boolean pass-criterion keys)
 PROBE_CRITERIA = {
     "recovery_ios_vs_log_volume": ["reads_flat"],
@@ -513,6 +636,21 @@ def check_sharding_snapshot(snapshot: dict) -> list[str]:
     for key in ("all_passed", "machinery_exercised"):
         if not chaos.get(key):
             failures.append(f"shard_chaos.{key} is falsy")
+    return failures
+
+
+def check_rebalance_snapshot(snapshot: dict) -> list[str]:
+    """Pass criteria of the rebalance snapshot."""
+    failures = []
+    data = snapshot.get("skewed_rebalance", {})
+    for key in ("speedup_ok", "no_keys_lost"):
+        if not data.get(key):
+            failures.append(f"skewed_rebalance.{key} is falsy "
+                            f"(speedup={data.get('speedup')})")
+    chaos = snapshot.get("rebalance_chaos", {})
+    for key in ("all_passed", "machinery_exercised"):
+        if not chaos.get(key):
+            failures.append(f"rebalance_chaos.{key} is falsy")
     return failures
 
 
@@ -599,6 +737,26 @@ def main() -> int:
         fh.write("\n")
     print(f"wrote {path}")
     print(json.dumps(sharding, indent=2))
+
+    # Rebalance snapshot (PR 10): both probes score on simulated
+    # per-shard time, so the numbers are deterministic; the skewed
+    # workload must speed up >= 1.5x after the hot slots move, and the
+    # rebalance-heavy chaos campaign must keep its oracles clean.
+    rebalance = {
+        "generated_unix": int(time.time()),
+        "python": sys.version.split()[0],
+        "skewed_rebalance": bench_rebalance(),
+        "rebalance_chaos": bench_rebalance_chaos(),
+    }
+    rebalance_failures = check_rebalance_snapshot(rebalance)
+    rebalance["probe_failures"] = rebalance_failures
+    failures = failures + rebalance_failures
+    path = os.path.join(out_dir, "BENCH_rebalance.json")
+    with open(path, "w") as fh:
+        json.dump(rebalance, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {path}")
+    print(json.dumps(rebalance, indent=2))
 
     # Latency snapshot: wall-clock percentiles live in their own file
     # for the same reason as the concurrency probe.

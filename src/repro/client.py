@@ -117,7 +117,15 @@ class Client:
         except BaseException:
             handle.abort()
             raise
-        handle.commit()
+        try:
+            handle.commit()
+        except BaseException:
+            # A failed commit may leave a branch holding locks (e.g.
+            # stranded behind a partition); abort is idempotent on
+            # both backends, so this is a no-op when commit already
+            # cleaned up after itself.
+            handle.abort()
+            raise
 
     # -- to implement --------------------------------------------------
     def _txn_handle(self):  # noqa: ANN202
@@ -292,6 +300,17 @@ class ShardedClient(Client):
 
     def _close_backend(self) -> None:
         self.router.close()
+
+    def rebalance_slot(self, slot: int, dst: int) -> int:
+        """Move one hash slot to shard ``dst`` online (the fleet keeps
+        serving); returns the new routing epoch."""
+        self._require_open()
+        return self.router.move_slot(slot, dst)
+
+    def slot_assignments(self) -> tuple[int, ...]:
+        """The current slot -> shard map (index = slot)."""
+        self._require_open()
+        return self.router.routing.assignments()
 
     def get(self, key: bytes) -> bytes | None:
         self._require_open()

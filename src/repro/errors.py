@@ -191,6 +191,24 @@ class TwoPhaseCommitError(ShardError):
     """A cross-shard transaction could not reach a decision."""
 
 
+class WrongShardError(ShardError):
+    """A key-addressed command reached a shard that does not own the
+    key's hash slot (the command raced a slot cutover).  The router
+    re-resolves the owner from its routing table and retries; a direct
+    worker caller should refresh its view of the assignment.
+
+    Constructable from a bare message so it survives the RPC error
+    marshalling (:func:`repro.shard.rpc.unmarshal_error`).
+    """
+
+    def __init__(self, message: str = "",
+                 shard: int | None = None,
+                 slot: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.slot = slot
+
+
 class LogError(ReproError):
     """Corrupt or inconsistent recovery log."""
 

@@ -34,6 +34,11 @@ class ShardConfig:
     engine: EngineConfig | None = None
     #: base seed; shard ``i`` runs with ``seed * 1000 + i``
     seed: int = 0
+    #: number of hash slots keys partition into; slots (not keys) are
+    #: the unit of online rebalancing.  When ``n_shards`` divides
+    #: ``n_slots`` the initial assignment routes every key exactly as
+    #: the pre-rebalancing ``crc32 % n_shards`` map did.
+    n_slots: int = 64
 
     def __post_init__(self) -> None:
         self.validate()
@@ -43,6 +48,10 @@ class ShardConfig:
         if self.n_shards < 1:
             raise ConfigError(
                 f"n_shards must be at least 1, got {self.n_shards}")
+        if self.n_slots < self.n_shards:
+            raise ConfigError(
+                f"n_slots ({self.n_slots}) must be >= n_shards "
+                f"({self.n_shards}); every shard needs a slot to own")
         if self.transport not in ("inproc", "process"):
             raise ConfigError(
                 f"transport must be 'inproc' or 'process', "

@@ -1,9 +1,12 @@
-"""The shard router: hash partitioning, transports, and 2PC driving.
+"""The shard router: slot routing, transports, 2PC, and rebalancing.
 
 The router is the single coordinator of a sharded deployment.  Keys
 are partitioned with a *stable* hash (CRC-32 — never Python's
 ``hash()``, which is randomized per process and would scatter a key
-across restarts).  Each partition is reached through a transport:
+across restarts) into a fixed number of slots; an epoch-versioned
+:class:`repro.shard.routing.RoutingTable` assigns slots to shards, so
+the key -> shard map is explicit and movable instead of frozen at
+fleet creation.  Each shard is reached through a transport:
 
 * :class:`LocalShard` — the worker lives in the router's process and
   commands are direct calls.  Deterministic, so the chaos harness and
@@ -20,6 +23,14 @@ hits a crashed shard it re-opens just that shard on demand — restart
 analysis reports the gtids the log left in doubt and the router
 resolves them straight from the decision log — while every other shard
 keeps serving untouched.
+
+:meth:`ShardRouter.move_slot` rebalances online: the slot is snapshot
+on the source through the verified full-backup machinery, installed on
+the destination while the source keeps serving, caught up from a
+committed-changes delta read off the source's log, and cut over by
+forcing an epoch record into the coordinator log — the same durable
+structure 2PC decisions live in, so a recovering router replays
+cutovers exactly as participants replay decisions.
 """
 
 from __future__ import annotations
@@ -28,24 +39,40 @@ import heapq
 import itertools
 import threading
 import zlib
+from collections import deque
 
 from repro.errors import (
+    ConfigError,
     ReproError,
     ShardError,
     ShardUnavailableError,
     SystemFailure,
     TransactionAborted,
     TransactionError,
+    WrongShardError,
 )
 from repro.shard.config import ShardConfig
+from repro.shard.routing import RoutingTable, slot_of
 from repro.shard.rpc import recv_msg, send_msg, unmarshal_error
 from repro.shard.twopc import CoordinatorLog
 from repro.shard.worker import ShardWorker, worker_main
 
 
 def shard_of(key: bytes, n_shards: int) -> int:
-    """Stable partition of ``key`` (CRC-32 mod N)."""
+    """Stable partition of ``key`` (CRC-32 mod N).
+
+    The fleet-creation map: a router whose coordinator log holds no
+    epoch records routes exactly like this whenever ``n_shards``
+    divides ``n_slots`` (the default deployment).  Kept as a module
+    function for tools that partition without a router.
+    """
     return zlib.crc32(key) % n_shards
+
+
+#: verbs whose blind re-execution after a crashed reply is unsafe: the
+#: first attempt may have committed before the crash ate the answer,
+#: so the retry path must consult the log instead (see ``_call``)
+_RISKY_VERBS = frozenset({"put", "delete", "batch", "txn_commit"})
 
 
 # ----------------------------------------------------------------------
@@ -135,7 +162,7 @@ class ProcessShard:
 # Router
 # ----------------------------------------------------------------------
 class ShardRouter:
-    """Routes keys, drives transactions, recovers shards on demand."""
+    """Routes keys, drives transactions, recovers and rebalances."""
 
     def __init__(self, config: ShardConfig | None = None,
                  coordinator: CoordinatorLog | None = None) -> None:
@@ -149,10 +176,20 @@ class ShardRouter:
             transport(i, self.config.shard_engine_config(i))
             for i in range(self.config.n_shards)
         ]
-        #: undeliverable phase-two messages, queued per shard until it
-        #: is reachable again (command tuples, replayed in order)
-        self._pending: dict[int, list[tuple]] = {
-            i: [] for i in range(self.config.n_shards)}
+        #: the slot -> shard assignment; rebuilt from the coordinator
+        #: log's durable epoch records, so a router handed the log of a
+        #: crashed predecessor adopts its cutover history instead of
+        #: the fleet-creation map
+        self.routing = RoutingTable(self.config.n_slots,
+                                    self.config.n_shards)
+        self.routing.apply_epochs(self.coordinator.durable_epochs())
+        #: undeliverable phase-two / cleanup messages, queued per shard
+        #: until it is reachable again (command tuples, in order)
+        self._pending: dict[int, deque[tuple]] = {
+            i: deque() for i in range(self.config.n_shards)}
+        #: open router transactions by xid — ``move_slot`` force-aborts
+        #: the ones whose branches touched the moving slot
+        self._txns: dict[int, RouterTxn] = {}
         self._next_xid = itertools.count(1)
         self._closed = False
         self.reopens = 0
@@ -161,28 +198,80 @@ class ShardRouter:
         #: ``"after_decision"`` (shard_id ``None``).  The chaos harness
         #: raises from it to crash the protocol mid-flight.
         self.commit_hook = None
+        for idx in range(self.config.n_shards):
+            self._install_ownership(idx)
 
     # -- partitioning --------------------------------------------------
     def shard_of(self, key: bytes) -> int:
-        return shard_of(key, self.config.n_shards)
+        return self.routing.shard_for(key)
+
+    def slot_of(self, key: bytes) -> int:
+        return slot_of(key, self.config.n_slots)
 
     # -- plumbing ------------------------------------------------------
     def _require_open(self) -> None:
         if self._closed:
             raise ShardError("router is closed")
 
+    def _install_ownership(self, idx: int) -> None:
+        """Push shard ``idx``'s slot assignment from the routing table
+        (boot, post-restart, and the redirect-retry resync path)."""
+        self.shards[idx].call(
+            ("set_slots", self.config.n_slots, self.routing.slots_of(idx)))
+
     def _call(self, idx: int, *command):  # noqa: ANN201
         """One command to shard ``idx``, with on-demand reopen: a
         crashed shard is restarted (and its in-doubt branches resolved
         from the decision log) transparently, then the command retried
-        once.  A partitioned shard raises without retry."""
+        once.  A partitioned shard raises without retry.
+
+        State-changing verbs get an *outcome-aware* retry: the shard's
+        durable LSN is recorded first, and if the command dies in a
+        system failure the post-restart log is consulted — a COMMIT
+        record past the watermark means the first attempt succeeded
+        and only its reply was lost, so the answer is reconstructed
+        from the log instead of re-executing (a blind retry would
+        double-apply the command, or report a hard failure for work
+        that is in fact durable).
+        """
         self._require_open()
         self._flush_pending(idx)
+        shard = self.shards[idx]
+        watermark = None
+        if command[0] in _RISKY_VERBS:
+            try:
+                watermark = shard.call(("durable_lsn",))
+            except SystemFailure:
+                self._reopen(idx)
+                watermark = shard.call(("durable_lsn",))
         try:
-            return self.shards[idx].call(tuple(command))
+            return shard.call(tuple(command))
         except SystemFailure:
-            self._reopen(idx)
-            return self.shards[idx].call(tuple(command))
+            indoubt = shard.call(("restart", None))
+            # Probe *between* analysis and in-doubt resolution: the
+            # resolution path writes fresh COMMIT records that would
+            # otherwise be indistinguishable from the lost reply's.
+            outcome = (shard.call(("outcome_since", watermark))
+                       if watermark is not None else None)
+            self._finish_reopen(idx, indoubt)
+            if outcome is not None:
+                return self._synthesize(command, outcome)
+            return shard.call(tuple(command))
+
+    @staticmethod
+    def _synthesize(command: tuple, outcome: tuple[int, int]):  # noqa: ANN205
+        """The reply the crash ate, reconstructed from the log."""
+        commit_lsn, n_updates = outcome
+        verb = command[0]
+        if verb == "txn_commit":
+            return commit_lsn
+        if verb == "put":
+            return None
+        if verb == "delete":
+            # The autocommit delete wrote an update record iff the key
+            # existed — exactly the boolean the lost reply carried.
+            return n_updates > 0
+        return len(command[1])  # batch
 
     def _reopen(self, idx: int) -> list[int]:
         """Instant restart of one shard while the others keep serving.
@@ -192,17 +281,25 @@ class ShardRouter:
         (absent decision = presumed abort).  Anything queued for the
         shard is superseded by this resolution and dropped.
         """
+        indoubt = self.shards[idx].call(("restart", None))
+        self._finish_reopen(idx, indoubt)
+        return list(indoubt)
+
+    def _finish_reopen(self, idx: int, indoubt) -> None:  # noqa: ANN001
         shard = self.shards[idx]
-        indoubt = shard.call(("restart", None))
         self._pending[idx].clear()
         for gtid in indoubt:
             verdict = self.coordinator.decision_of(gtid)
             shard.call(("resolve", gtid, verdict == "commit"))
+        # The crash wiped the volatile slot assignment (and any queued
+        # grant/drop); reinstall from the routing table — the table is
+        # rebuilt from durable epoch records, so a slot dropped before
+        # the crash stays dropped.
+        self._install_ownership(idx)
         self.reopens += 1
-        return list(indoubt)
 
     def _flush_pending(self, idx: int) -> None:
-        """Deliver queued phase-two messages once ``idx`` is back."""
+        """Deliver queued messages once ``idx`` is back."""
         queue = self._pending[idx]
         while queue:
             try:
@@ -212,26 +309,40 @@ class ShardRouter:
             except SystemFailure:
                 self._reopen(idx)  # reopen resolves and clears the queue
                 return
-            queue.pop(0)
+            except ReproError:
+                pass  # superseded (e.g. the branch died with a crash)
+            queue.popleft()
 
     def _fire_hook(self, stage: str, shard_id: int | None) -> None:
         if self.commit_hook is not None:
             self.commit_hook(stage, shard_id)
 
     # -- autocommit operations -----------------------------------------
+    def _routed(self, key: bytes, *command):  # noqa: ANN201
+        """Key-addressed command with one cutover-race redirect: if the
+        owner refuses because its slot view is stale relative to the
+        routing table, resync it and retry at the table's owner."""
+        idx = self.shard_of(key)
+        try:
+            return self._call(idx, *command)
+        except WrongShardError:
+            self._install_ownership(idx)
+            return self._call(self.shard_of(key), *command)
+
     def get(self, key: bytes) -> bytes | None:
-        return self._call(self.shard_of(key), "get", key)
+        return self._routed(key, "get", key)
 
     def put(self, key: bytes, value: bytes) -> None:
-        self._call(self.shard_of(key), "put", key, value)
+        self._routed(key, "put", key, value)
 
     def delete(self, key: bytes) -> bool:
-        return self._call(self.shard_of(key), "delete", key)
+        return self._routed(key, "delete", key)
 
     def scan(self, low: bytes = b"",
              high: bytes | None = None) -> list[tuple[bytes, bytes]]:
         """Global key order across all shards (k-way merge of the
-        per-shard sorted scans)."""
+        per-shard sorted scans; each shard filters to slots it owns,
+        so a moved slot's not-yet-dropped leftovers appear once)."""
         per_shard = [self._call(i, "scan", low, high)
                      for i in range(self.config.n_shards)]
         return list(heapq.merge(*per_shard))
@@ -250,7 +361,77 @@ class ShardRouter:
     # -- transactions --------------------------------------------------
     def txn(self) -> "RouterTxn":
         self._require_open()
-        return RouterTxn(self, next(self._next_xid))
+        txn = RouterTxn(self, next(self._next_xid))
+        self._txns[txn.xid] = txn
+        return txn
+
+    # -- online rebalancing --------------------------------------------
+    def move_slot(self, slot: int, dst: int,
+                  copy_hook=None) -> int:  # noqa: ANN001
+        """Move one hash slot to shard ``dst`` while the fleet serves.
+
+        The protocol, in commit-point order:
+
+        1. resolve the source's in-doubt branches from the decision
+           log (a prepared branch's locks cannot be broken, and the
+           export refuses non-quiescent slots);
+        2. force-abort open router transactions that wrote the slot
+           (their branches would straddle the cutover);
+        3. snapshot the slot on the source via the verified
+           full-backup path (``export_slot`` — the source keeps
+           serving throughout) and install it on the destination
+           (``import_slot``);
+        4. run ``copy_hook`` if given — the test/benchmark window for
+           concurrent traffic against the still-serving source;
+        5. catch up from the delta of *committed* changes since the
+           snapshot LSN, read off the source's log (``slot_delta``);
+        6. force the epoch record into the coordinator log — **the
+           cutover's commit point** — then flip the routing table;
+        7. grant the slot on the destination and drop it (ownership +
+           leftover keys) on the source; either side being unreachable
+           queues the message for redelivery after heal.
+
+        Returns the new routing epoch.
+        """
+        self._require_open()
+        if not 0 <= slot < self.routing.n_slots:
+            raise ConfigError(
+                f"slot {slot} out of range 0..{self.routing.n_slots - 1}")
+        if not 0 <= dst < self.config.n_shards:
+            raise ConfigError(
+                f"shard {dst} out of range 0..{self.config.n_shards - 1}")
+        src = self.routing.owner_of(slot)
+        if src == dst:
+            return self.routing.epoch
+
+        for gtid in self._call(src, "indoubt"):
+            verdict = self.coordinator.decision_of(gtid)
+            self._call(src, "resolve", gtid, verdict == "commit")
+        for txn in list(self._txns.values()):
+            if slot in txn._touched_slots:
+                txn._force_abort(
+                    f"slot {slot} is moving from shard {src} to {dst}")
+
+        snapshot_lsn, items = self._call(src, "export_slot", slot)
+        self._call(dst, "import_slot", slot, items, True)
+        if copy_hook is not None:
+            copy_hook()
+        delta = self._call(src, "slot_delta", slot, snapshot_lsn)
+        if delta:
+            self._call(dst, "import_slot", slot, delta, False)
+
+        self.coordinator.log_epoch(self.routing.epoch + 1, slot, src, dst)
+        self.routing.move(slot, dst)
+
+        try:
+            self._call(dst, "grant_slot", slot)
+        except ShardUnavailableError:
+            self._pending[dst].append(("grant_slot", slot))
+        try:
+            self._call(src, "drop_slot", slot)
+        except ShardUnavailableError:
+            self._pending[src].append(("drop_slot", slot))
+        return self.routing.epoch
 
     # -- maintenance ---------------------------------------------------
     def checkpoint_all(self) -> list[int]:
@@ -283,13 +464,23 @@ class RouterTxn:
         self.router = router
         self.xid = xid
         self.branches: set[int] = set()
+        #: slots this transaction wrote — ``move_slot`` force-aborts
+        #: the transactions whose writes straddle a cutover
+        self._touched_slots: set[int] = set()
         self._done = False
+        self._forced: str | None = None
 
     # -- operations ----------------------------------------------------
     def _require_active(self) -> None:
+        if self._forced is not None:
+            raise TransactionAborted(self.xid, self._forced)
         if self._done:
             raise TransactionError(
                 f"transaction {self.xid} is already finished")
+
+    def _finish(self) -> None:
+        self._done = True
+        self.router._txns.pop(self.xid, None)
 
     def _enlist(self, idx: int) -> None:
         if idx not in self.branches:
@@ -308,26 +499,46 @@ class RouterTxn:
         idx = self.router.shard_of(key)
         self._enlist(idx)
         self.router._call(idx, "txn_put", self.xid, key, value)
+        self._touched_slots.add(self.router.slot_of(key))
 
     def delete(self, key: bytes) -> bool:
         self._require_active()
         idx = self.router.shard_of(key)
         self._enlist(idx)
-        return self.router._call(idx, "txn_delete", self.xid, key)
+        existed = self.router._call(idx, "txn_delete", self.xid, key)
+        self._touched_slots.add(self.router.slot_of(key))
+        return existed
 
     # -- finish --------------------------------------------------------
     def commit(self) -> None:
         self._require_active()
-        self._done = True
         participants = sorted(self.branches)
         if not participants:
+            self._finish()
             return
         if len(participants) == 1:
             # Single-shard passthrough: the branch's own COMMIT record
             # is the commit point; no coordinator state at all.
-            self.router._call(participants[0], "txn_commit", self.xid)
+            idx = participants[0]
+            try:
+                self.router._call(idx, "txn_commit", self.xid)
+            except ShardUnavailableError:
+                # The branch is stranded behind a partition, still
+                # holding its locks.  Queue its abort so the heal
+                # releases them (presumed abort: the commit record was
+                # never forced); without this the locks leak forever.
+                self.router._pending[idx].append(("txn_abort", self.xid))
+                raise
+            finally:
+                # Finish in *all* outcomes — an abort after a failed
+                # commit must be an idempotent no-op, not mask the
+                # commit's error with "already finished".
+                self._finish()
             return
-        self._commit_two_phase(participants)
+        try:
+            self._commit_two_phase(participants)
+        finally:
+            self._finish()
 
     def _commit_two_phase(self, participants: list[int]) -> None:
         router = self.router
@@ -380,14 +591,38 @@ class RouterTxn:
                 continue
             try:
                 router._call(idx, "txn_abort", self.xid)
+            except ShardUnavailableError:
+                # The un-prepared branch is stranded behind a partition
+                # with its locks; queue the abort for the heal.
+                router._pending[idx].append(("txn_abort", self.xid))
             except ReproError:
                 pass  # branch died with its shard; analysis undoes it
 
     def abort(self) -> None:
-        self._require_active()
-        self._done = True
+        if self._done:
+            return  # idempotent, like the single-node facade's handle
+        self._finish()
+        self._abort_branches()
+
+    def _force_abort(self, reason: str) -> None:
+        """Abort on the router's initiative (a slot this transaction
+        wrote is being moved); later use of the handle raises a typed
+        :class:`TransactionAborted` carrying ``reason``."""
+        if self._done:
+            return
+        self._forced = reason
+        self._finish()
+        self._abort_branches()
+
+    def _abort_branches(self) -> None:
+        router = self.router
         for idx in sorted(self.branches):
             try:
-                self.router._call(idx, "txn_abort", self.xid)
+                router._call(idx, "txn_abort", self.xid)
+            except ShardUnavailableError:
+                # Partitioned, not dead: the branch survives behind
+                # the partition holding its locks — queue the abort so
+                # the heal releases them instead of leaking forever.
+                router._pending[idx].append(("txn_abort", self.xid))
             except ReproError:
                 pass  # a crashed shard's analysis already undid it

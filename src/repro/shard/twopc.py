@@ -27,6 +27,20 @@ class Decision:
     participants: tuple[int, ...]
 
 
+@dataclass(frozen=True)
+class EpochRecord:
+    """One durable slot-cutover record (online rebalancing).
+
+    Forcing this record is the commit point of a ``move_slot``: a
+    recovering router replays the durable epoch sequence to rebuild
+    its routing table, exactly as participants replay decisions."""
+
+    epoch: int
+    slot: int
+    src: int
+    dst: int
+
+
 class CoordinatorLog:
     """Append-only, explicitly-forced 2PC decision log.
 
@@ -58,6 +72,17 @@ class CoordinatorLog:
         if force:
             self.force()
 
+    def log_epoch(self, epoch: int, slot: int, src: int, dst: int,
+                  force: bool = True) -> EpochRecord:
+        """Append a slot-cutover record; forcing it is the cutover's
+        commit point (an unforced record vanishes with the coordinator
+        and the move never happened)."""
+        record = EpochRecord(epoch, slot, src, dst)
+        self._entries.append(record)
+        if force:
+            self.force()
+        return record
+
     def force(self) -> None:
         """Harden every appended decision (the commit point)."""
         self._durable_count = len(self._entries)
@@ -73,12 +98,19 @@ class CoordinatorLog:
         forced (presumed abort covers coordinator loss between prepare
         and decision)."""
         for decision in self._entries[:self._durable_count]:
-            if decision.gtid == gtid:
+            if isinstance(decision, Decision) and decision.gtid == gtid:
                 return decision.verdict
         return "abort"
 
     def durable_decisions(self) -> list[Decision]:
-        return list(self._entries[:self._durable_count])
+        return [entry for entry in self._entries[:self._durable_count]
+                if isinstance(entry, Decision)]
+
+    def durable_epochs(self) -> list[EpochRecord]:
+        """Every durable cutover record, in epoch order (append order
+        is epoch order — epochs are allocated by the single router)."""
+        return [entry for entry in self._entries[:self._durable_count]
+                if isinstance(entry, EpochRecord)]
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -15,14 +15,30 @@ branch that has forced its PREPARE record and now holds its locks in
 doubt.  A ``crash`` command wipes both (volatile state), exactly like
 the single-node engine's crash; ``restart`` reruns analysis and
 reports which gtids the log says are still in doubt.
+
+Slot ownership: once the router installs an assignment (``set_slots``)
+the worker enforces it — a key-addressed command for a slot this shard
+does not own is refused with a typed :class:`repro.errors.
+WrongShardError` (the redirect signal for commands racing a cutover),
+and ``scan`` silently filters unowned keys so a moved-away slot's
+not-yet-dropped leftovers are never served twice.  A worker that never
+received an assignment owns everything (the embedded/standalone case).
 """
 
 from __future__ import annotations
 
 from repro.engine.config import EngineConfig
 from repro.engine.database import Database
-from repro.errors import KeyNotFound, ShardError, TransactionError
+from repro.errors import (
+    KeyNotFound,
+    ReproError,
+    ShardError,
+    TransactionError,
+    WrongShardError,
+)
+from repro.shard.routing import slot_of
 from repro.shard.rpc import marshal_error, recv_msg, send_msg
+from repro.wal.records import LogRecordKind
 
 
 class ShardWorker:
@@ -35,6 +51,10 @@ class ShardWorker:
         self._live: dict[int, object] = {}       # xid -> Transaction
         self._prepared: dict[int, object] = {}   # gtid -> Transaction
         self.ops_served = 0
+        #: slots this shard serves; ``None`` = no assignment installed,
+        #: every key accepted (standalone workers, pre-routing tests)
+        self._owned: set[int] | None = None
+        self._n_slots = 0
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -61,6 +81,18 @@ class ShardWorker:
                 f"shard {self.shard_id} has no open branch for xid {xid}")
         return txn
 
+    def _slot_of(self, key: bytes) -> int:
+        return slot_of(key, self._n_slots)
+
+    def _check_owner(self, key: bytes) -> None:
+        if self._owned is None:
+            return
+        slot = self._slot_of(key)
+        if slot not in self._owned:
+            raise WrongShardError(
+                f"shard {self.shard_id} does not own slot {slot} "
+                f"(key {key!r})", shard=self.shard_id, slot=slot)
+
     # ------------------------------------------------------------------
     # Autocommit operations
     # ------------------------------------------------------------------
@@ -68,13 +100,19 @@ class ShardWorker:
         return "pong"
 
     def _cmd_get(self, key: bytes) -> bytes | None:
+        # Crashed-state check first: a crashed shard must escalate to
+        # a system failure (the router's reopen signal), not refuse on
+        # ownership grounds.
         self.db._require_running()
+        self._check_owner(key)
         try:
             return self._tree.lookup(key)
         except KeyNotFound:
             return None
 
     def _cmd_put(self, key: bytes, value: bytes) -> None:
+        self.db._require_running()
+        self._check_owner(key)
         xid = self._cmd_txn_begin(-1)
         try:
             self._cmd_txn_put(xid, key, value)
@@ -84,6 +122,8 @@ class ShardWorker:
         self._cmd_txn_commit(xid)
 
     def _cmd_delete(self, key: bytes) -> bool:
+        self.db._require_running()
+        self._check_owner(key)
         xid = self._cmd_txn_begin(-1)
         try:
             existed = self._cmd_txn_delete(xid, key)
@@ -96,6 +136,9 @@ class ShardWorker:
     def _cmd_batch(self, ops: list[tuple]) -> int:
         """Apply ``[("put", k, v) | ("delete", k), ...]`` in one local
         transaction (the bulk path the benchmarks drive)."""
+        self.db._require_running()
+        for op in ops:
+            self._check_owner(op[1])
         xid = self._cmd_txn_begin(-1)
         try:
             for op in ops:
@@ -114,7 +157,13 @@ class ShardWorker:
     def _cmd_scan(self, low: bytes = b"",
                   high: bytes | None = None) -> list[tuple[bytes, bytes]]:
         self.db._require_running()
-        return list(self._tree.range_scan(low, high))
+        pairs = self._tree.range_scan(low, high)
+        if self._owned is None:
+            return list(pairs)
+        # Unowned keys (a moved-away slot's not-yet-dropped leftovers)
+        # must never be served: the slot's new owner serves them.
+        return [(key, value) for key, value in pairs
+                if self._slot_of(key) in self._owned]
 
     def _abort_quietly(self, xid: int) -> None:
         txn = self._live.pop(xid, None)
@@ -145,6 +194,7 @@ class ShardWorker:
         return xid
 
     def _cmd_txn_get(self, xid: int, key: bytes) -> bytes | None:
+        self._check_owner(key)
         self._branch(xid)  # branch must exist; reads see live tree state
         try:
             return self._tree.lookup(key)
@@ -152,6 +202,7 @@ class ShardWorker:
             return None
 
     def _cmd_txn_put(self, xid: int, key: bytes, value: bytes) -> None:
+        self._check_owner(key)
         txn = self._branch(xid)
         self.db.locks.acquire(txn.txn_id, key)
         tree = self._tree
@@ -163,6 +214,7 @@ class ShardWorker:
             tree.update(txn, key, value)
 
     def _cmd_txn_delete(self, xid: int, key: bytes) -> bool:
+        self._check_owner(key)
         txn = self._branch(xid)
         self.db.locks.acquire(txn.txn_id, key)
         tree = self._tree
@@ -216,6 +268,205 @@ class ShardWorker:
     def _cmd_indoubt(self) -> list[int]:
         gtids = set(self._prepared) | set(self.db.indoubt)
         return sorted(gtids)
+
+    # ------------------------------------------------------------------
+    # Slot ownership & online rebalancing
+    # ------------------------------------------------------------------
+    def _cmd_set_slots(self, n_slots: int, slots) -> None:  # noqa: ANN001
+        """Install (or refresh) this shard's slot assignment."""
+        self._n_slots = n_slots
+        self._owned = set(slots)
+
+    def _cmd_owned_slots(self) -> list[int] | None:
+        return None if self._owned is None else sorted(self._owned)
+
+    def _cmd_grant_slot(self, slot: int) -> None:
+        if self._owned is not None:
+            self._owned.add(slot)
+
+    def _cmd_drop_slot(self, slot: int) -> int:
+        """Revoke ownership of ``slot`` and physically delete its
+        leftover keys (the new owner serves them now); returns the
+        number of keys deleted."""
+        if self._owned is not None:
+            self._owned.discard(slot)
+        if self._n_slots == 0:
+            return 0
+        self.db._require_running()
+        victims = [key for key, _ in self._tree.range_scan(b"", None)
+                   if self._slot_of(key) == slot]
+        if not victims:
+            return 0
+        xid = self._cmd_txn_begin(-1)
+        txn = self._live[xid]
+        try:
+            for key in victims:
+                self.db.locks.acquire(txn.txn_id, key)
+                self._tree.delete(txn, key)
+        except BaseException:
+            self._abort_quietly(xid)
+            raise
+        self._cmd_txn_commit(xid)
+        return len(victims)
+
+    def _cmd_export_slot(self, slot: int) -> tuple[int, list]:
+        """Verified snapshot of one slot via the full-backup machinery.
+
+        The backup path checkpoints first and verifies every image
+        (in-page checks + PRI LSN cross-check, bad images repaired
+        through the pool's per-page chain replay), so the snapshot can
+        never carry silent damage.  Live branches still holding locks
+        inside the slot are aborted first (the slot must be quiescent
+        so every extracted value is committed); a *prepared*/in-doubt
+        branch cannot be aborted unilaterally, so its lock surfaces as
+        a typed error — the router resolves in-doubt branches from the
+        decision log before exporting.  Returns ``(snapshot_lsn,
+        [(key, value), ...])``.
+        """
+        if self._n_slots == 0:
+            raise ShardError(
+                f"shard {self.shard_id} has no slot assignment; "
+                f"set_slots must precede export_slot")
+        self.db._require_running()
+        for xid, txn in list(self._live.items()):
+            held = self.db.locks.locks_held(txn.txn_id)
+            if any(self._slot_of(key) == slot for key in held):
+                self._abort_quietly(xid)
+        backup_id = self.db.take_full_backup()
+        snapshot_lsn = self.db.log.backup_full_lsn(backup_id)
+        images = self.db.backup_store.restore_full_backup(backup_id)
+        from repro.btree.node import BTreeNode
+        from repro.page.page import Page, PageType
+
+        items: list[tuple[bytes, bytes]] = []
+        for page_id in sorted(images):
+            try:
+                page = Page(self.db.config.page_size, images[page_id])
+                if page.page_type != PageType.BTREE_LEAF:
+                    continue
+                node = BTreeNode(page)
+            except (ReproError, ValueError):
+                continue  # not a parseable B-tree leaf: nothing to export
+            for i in range(node.nrecs):
+                if node.is_ghost(i):
+                    continue
+                key = node.full_key(i)
+                if self._slot_of(key) != slot:
+                    continue
+                if self.db.locks.holder_of(key) is not None:
+                    raise ShardError(
+                        f"slot {slot} is not quiescent: {key!r} is "
+                        f"locked by an unresolved branch")
+                items.append((key, node.value(i)))
+        items.sort()
+        return snapshot_lsn, items
+
+    def _cmd_slot_delta(self, slot: int, since_lsn: int) -> list:
+        """Committed changes to the slot's keys since the snapshot.
+
+        Changed keys are read off the log's key-level undo information
+        (only *committed* transactions count — presumed abort for the
+        rest), values off the live tree: a key whose lock is free is
+        committed state, a locked key means the slot is not quiescent
+        and the export protocol was violated.  Returns ``[(key,
+        value | None), ...]`` (``None`` = deleted since the snapshot).
+        """
+        if self._n_slots == 0:
+            raise ShardError(
+                f"shard {self.shard_id} has no slot assignment; "
+                f"set_slots must precede slot_delta")
+        self.db._require_running()
+        records = self.db.log.records_from(since_lsn)
+        committed = {record.txn_id for record in records
+                     if record.kind == LogRecordKind.COMMIT}
+        changed: set[bytes] = set()
+        for record in records:
+            undo = record.undo
+            if undo is None or record.txn_id not in committed:
+                continue
+            if self._slot_of(undo.key) == slot:
+                changed.add(undo.key)
+        delta: list[tuple[bytes, bytes | None]] = []
+        for key in sorted(changed):
+            if self.db.locks.holder_of(key) is not None:
+                raise ShardError(
+                    f"slot {slot} is not quiescent: {key!r} is locked")
+            try:
+                delta.append((key, self._tree.lookup(key)))
+            except KeyNotFound:
+                delta.append((key, None))
+        return delta
+
+    def _cmd_import_slot(self, slot: int, items, clear: bool = True) -> int:  # noqa: ANN001
+        """Install a slot snapshot (``clear=True``: stale residents of
+        the slot are deleted first, making re-imports idempotent) or
+        apply a catch-up delta (``clear=False``) in one local
+        transaction.  ``items`` is ``[(key, value | None), ...]``."""
+        self.db._require_running()
+        xid = self._cmd_txn_begin(-1)
+        txn = self._live[xid]
+        tree = self._tree
+        try:
+            if clear and self._n_slots:
+                incoming = {key for key, _ in items}
+                stale = [key for key, _ in tree.range_scan(b"", None)
+                         if self._slot_of(key) == slot
+                         and key not in incoming]
+                for key in stale:
+                    self.db.locks.acquire(txn.txn_id, key)
+                    tree.delete(txn, key)
+            for key, value in items:
+                self.db.locks.acquire(txn.txn_id, key)
+                try:
+                    tree.lookup(key)
+                except KeyNotFound:
+                    if value is not None:
+                        tree.insert(txn, key, value)
+                else:
+                    if value is None:
+                        tree.delete(txn, key)
+                    else:
+                        tree.update(txn, key, value)
+        except BaseException:
+            self._abort_quietly(xid)
+            raise
+        self._cmd_txn_commit(xid)
+        return len(items)
+
+    # ------------------------------------------------------------------
+    # Recovery probes (the router's outcome-aware retry path)
+    # ------------------------------------------------------------------
+    def _cmd_durable_lsn(self) -> int:
+        """The shard log's durable high-water mark — the router records
+        it *before* a state-changing command so that, if the reply is
+        lost to a crash, it can ask what committed past the mark
+        instead of blindly re-executing."""
+        self.db._require_running()
+        return self.db.log.durable_lsn
+
+    def _cmd_outcome_since(self, lsn: int) -> tuple[int, int] | None:
+        """Did a user transaction commit at or after ``lsn``?
+
+        Returns ``(commit_lsn, n_updates)`` for the first such commit
+        (the command whose reply the crash ate — the router sends at
+        most one state-changing command between watermarks), or
+        ``None``: nothing committed, the retry is safe.
+        """
+        self.db._require_running()
+        records = self.db.log.records_from(lsn)
+        commit = next(
+            (r for r in records if r.kind == LogRecordKind.COMMIT), None)
+        if commit is None:
+            return None
+        updates = sum(1 for r in records
+                      if r.txn_id == commit.txn_id
+                      and r.kind == LogRecordKind.UPDATE)
+        return commit.lsn, updates
+
+    def _cmd_locks(self) -> list[bytes]:
+        """Every key currently locked on this shard (the chaos oracle
+        asserting partitions never leak locks past their heal)."""
+        return self.db.locks.held_keys()
 
     # ------------------------------------------------------------------
     # Failures, recovery, maintenance

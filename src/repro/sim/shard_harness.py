@@ -17,6 +17,14 @@ additional oracle:
   remaining deliveries are interleaved with recoveries.
 * ``shard_partition`` — a shard refuses traffic until healed; phase-two
   deliveries queue and must apply on reconnection.
+* ``rebalance`` — one hash slot is moved to another shard online via
+  :meth:`repro.shard.router.ShardRouter.move_slot` (backup-based
+  snapshot, delta catch-up, epoch-logged cutover), optionally with
+  committed traffic injected against the still-serving source between
+  snapshot and catch-up.  The final oracles assert that no committed
+  key was lost to a move, no key is served by two owners, the shards'
+  slot views agree exactly with the routing table, and every lock in
+  the fleet is released once partitions heal and branches resolve.
 
 The **atomicity oracle** extends the durability model: every
 cross-shard transaction's staged effects are either all in the final
@@ -67,6 +75,7 @@ EVENT_MIX = (
     ("xtxn", 20),
     ("shard_crash", 12),
     ("shard_partition", 6),
+    ("rebalance", 5),
     ("drain", 5),
     ("checkpoint", 4),
 )
@@ -124,6 +133,7 @@ class ShardChaosResult:
     interrupted_commits: int = 0
     served_while_down: int = 0
     reopens: int = 0
+    rebalances: int = 0
     shrunk: list[Event] | None = None
 
     def trace_text(self) -> str:
@@ -157,6 +167,7 @@ def generate_schedule(config: ShardChaosConfig) -> list[Event]:
         kinds.extend(SHARD_FAILURE_KINDS)
         kinds.extend("shard_crash" for _ in FAILPOINTS)
         kinds.extend("xtxn" for _ in FAILPOINTS)  # fuel for the armed crashes
+        kinds.extend(("rebalance", "rebalance"))  # at least two slot moves
     pool = [kind for kind, weight in EVENT_MIX for _ in range(weight)]
     while len(kinds) < config.n_events:
         kinds.append(rng.choice(pool))
@@ -189,6 +200,10 @@ def _draw_params(kind: str, rng: random.Random,
                 "probe": rng.random() < 0.7}
     if kind == "shard_partition":
         return {"shard": rng.randrange(1_000_000)}
+    if kind == "rebalance":
+        return {"slot": rng.randrange(1_000_000),
+                "dst": rng.randrange(1_000_000),
+                "traffic": rng.random() < 0.5}
     if kind == "drain":
         return {"pages": rng.randrange(2, 11)}
     if kind == "checkpoint":
@@ -377,13 +392,55 @@ class _Run:
                     f"healthy shard {healthy} refused service while "
                     f"shard {down} was down: {exc}")
         if payload.get("probe"):
+            # Probe with a key the crashed shard *owns* — a foreign
+            # key would be refused on ownership grounds instead of
+            # exercising the reopen path.
+            probe_key = next(
+                (key_of(i) for i in range(self.config.n_keys)
+                 if self.router.shard_of(key_of(i)) == down), None)
+            if probe_key is None:
+                return  # rebalancing moved every live key elsewhere
             try:
-                self.router._call(down, "get", key_of(0))
+                self.router._call(down, "get", probe_key)
             except ShardUnavailableError:
                 pass  # partitioned at the same time; fine
             except ReproError as exc:
                 self.violation(
                     f"on-demand reopen of shard {down} failed: {exc}")
+
+    def _do_rebalance(self, payload: dict) -> None:
+        """Move one slot online; optionally inject committed traffic
+        against the still-serving source between the snapshot install
+        and the delta catch-up (the window the log-chain delta must
+        carry across the cutover)."""
+        router = self.router
+        slot = payload["slot"] % router.config.n_slots
+        dst = payload["dst"] % self.config.n_shards
+        src = router.routing.owner_of(slot)
+        if src == dst:
+            dst = (dst + 1) % self.config.n_shards
+        hook = None
+        if payload.get("traffic"):
+            slot_keys = [key_of(i) for i in range(self.config.n_keys)
+                         if router.slot_of(key_of(i)) == slot][:3]
+
+            def hook() -> None:
+                for j, key in enumerate(slot_keys):
+                    value = (b"r%d.%d" % (slot, j))[:VALUE_WIDTH].ljust(
+                        VALUE_WIDTH, b".")
+                    router.put(key, value)
+                    self.model[key] = value
+        try:
+            epoch = router.move_slot(slot, dst, copy_hook=hook)
+        except ShardUnavailableError as exc:
+            self.trace(f"  rebalance of slot {slot} refused: {exc}")
+            return
+        except (LockConflict, DeadlockError) as exc:
+            self.trace(f"  rebalance of slot {slot} lock conflict: {exc}")
+            return
+        self.result.rebalances += 1
+        self.trace(f"  slot {slot}: shard {src} -> shard {dst} "
+                   f"(epoch {epoch})")
 
     def _do_shard_partition(self, payload: dict) -> None:
         partitioned = [i for i, s in enumerate(self.router.shards)
@@ -459,8 +516,37 @@ class _Run:
         #     so un-drained losers would masquerade as durable state.
         for i in range(self.config.n_shards):
             router._call(i, "finish_restart")
-        # 6. The oracle: global visible state == the settled model.
-        state = dict(router.scan())
+        # 5c. Rebalancing oracles: with partitions healed and every
+        #     branch resolved, no lock may survive anywhere in the
+        #     fleet, and the shards' slot views must partition the
+        #     slot space exactly as the routing table says.
+        for i in range(self.config.n_shards):
+            held = router._call(i, "locks")
+            if held:
+                self.violation(
+                    f"shard {i} still holds locks {held[:5]} after "
+                    f"full recovery")
+        assignments = router.routing.assignments()
+        for i in range(self.config.n_shards):
+            owned = router._call(i, "owned_slots")
+            expected = [s for s, owner in enumerate(assignments)
+                        if owner == i]
+            if owned != expected:
+                self.violation(
+                    f"shard {i} slot view disagrees with the routing "
+                    f"table: {owned} != {expected}")
+        # 6. The oracle: global visible state == the settled model —
+        #    and single ownership: the merged scan may serve each
+        #    committed key exactly once (a moved slot's leftovers must
+        #    never surface from the old owner).
+        merged = router.scan()
+        if len(merged) != len({key for key, _ in merged}):
+            seen: set[bytes] = set()
+            dups = sorted({key for key, _ in merged
+                           if key in seen or seen.add(key)})
+            self.violation(
+                f"keys served by two owners: {dups[:5]}")
+        state = dict(merged)
         if state != self.model:
             missing = sorted(set(self.model) - set(state))[:5]
             extra = sorted(set(state) - set(self.model))[:5]
@@ -480,6 +566,7 @@ class _Run:
             "xtxn": self._do_xtxn,
             "shard_crash": self._do_shard_crash,
             "shard_partition": self._do_shard_partition,
+            "rebalance": self._do_rebalance,
             "drain": self._do_drain,
             "checkpoint": self._do_checkpoint,
         }
@@ -544,6 +631,7 @@ class ShardCampaignResult:
     interrupted_commits: int = 0
     served_while_down: int = 0
     reopens: int = 0
+    rebalances: int = 0
 
     @property
     def ok(self) -> bool:
@@ -570,6 +658,7 @@ def run_campaign(n_seeds: int, base: ShardChaosConfig | None = None,
         campaign.interrupted_commits += result.interrupted_commits
         campaign.served_while_down += result.served_while_down
         campaign.reopens += result.reopens
+        campaign.rebalances += result.rebalances
         if not result.ok:
             campaign.failures.append(result)
     return campaign
@@ -597,6 +686,7 @@ def main(argv: list[str] | None = None) -> int:
               f"({campaign.xtxn_committed} cross-shard), "
               f"{campaign.interrupted_commits} interrupted mid-2PC, "
               f"{campaign.reopens} shard reopens, "
+              f"{campaign.rebalances} slot moves, "
               f"{campaign.served_while_down} served-while-down probes, "
               f"{len(campaign.failures)} failures")
         for failure in campaign.failures:
@@ -610,7 +700,8 @@ def main(argv: list[str] | None = None) -> int:
               f"({result.committed_txns} commits, "
               f"{result.xtxn_committed} cross-shard, "
               f"{result.interrupted_commits} interrupted, "
-              f"{result.reopens} reopens)")
+              f"{result.reopens} reopens, "
+              f"{result.rebalances} slot moves)")
     return 0 if result.ok else 1
 
 

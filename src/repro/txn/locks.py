@@ -102,3 +102,9 @@ class LockManager:
     def locks_held(self, txn_id: int) -> set[bytes]:
         with self._mutex:
             return set(self._held_by_txn.get(txn_id, set()))
+
+    def held_keys(self) -> list[bytes]:
+        """Every locked key, sorted — the chaos harness's lock-leak
+        oracle (after partitions heal, this must drain to empty)."""
+        with self._mutex:
+            return sorted(self._holders)

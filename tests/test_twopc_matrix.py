@@ -335,6 +335,124 @@ class TestRouterCrashMatrix:
         assert not router._pending[victim]
         router.close()
 
+    def test_abort_during_partition_queues_and_releases_locks(self):
+        # Regression: abort() used to swallow the partitioned branch
+        # under a blanket except, leaving it holding its locks forever
+        # after the heal.
+        router = make_router()
+        keys = cross_shard_keys(router, 2)
+        txn = router.txn()
+        for key in keys:
+            txn.put(key, b"x")
+        victim = router.shard_of(keys[1])
+        router.shards[victim].partitioned = True
+        txn.abort()  # must queue the unreachable branch's abort
+        assert router._pending[victim]
+        router.shards[victim].partitioned = False
+        # The next command flushes the queued abort; the branch's lock
+        # must be free for a new writer.
+        txn2 = router.txn()
+        txn2.put(keys[1], b"y")
+        txn2.commit()
+        assert router.get(keys[1]) == b"y"
+        router.close()
+
+    def test_single_shard_commit_during_partition_aborts_cleanly(self):
+        from repro.errors import ShardUnavailableError
+
+        # Regression: commit() used to mark the handle finished before
+        # attempting the commit, so the facade's abort-on-error hit
+        # "already finished" — masking the real failure — and the
+        # partitioned branch leaked its locks.
+        router = make_router()
+        key = b"solo-key"
+        idx = router.shard_of(key)
+        txn = router.txn()
+        txn.put(key, b"v")
+        router.shards[idx].partitioned = True
+        with pytest.raises(ShardUnavailableError):
+            txn.commit()
+        txn.abort()  # idempotent no-op, never "already finished"
+        assert router._pending[idx]
+        router.shards[idx].partitioned = False
+        # Presumed abort: the commit record was never forced.
+        assert router.get(key) is None
+        txn2 = router.txn()
+        txn2.put(key, b"w")  # the stranded branch's lock must be free
+        txn2.commit()
+        assert router.get(key) == b"w"
+        router.close()
+
+    def test_crash_that_eats_commit_reply_is_not_double_failed(self):
+        from repro.errors import SystemFailure
+
+        # Regression: a crash that ate the txn_commit reply made the
+        # blind retry fail on the (gone) branch even though the commit
+        # record was already durable.  The retry path must consult the
+        # log and report success.
+        router = make_router()
+        key = b"retry-key"
+        idx = router.shard_of(key)
+        shard = router.shards[idx]
+        real_call = shard.call
+
+        def eat_reply(command):
+            result = real_call(command)
+            if command[0] == "txn_commit":
+                shard.call = real_call
+                shard.worker.execute(("crash",))
+                raise SystemFailure("reply lost in crash")
+            return result
+
+        txn = router.txn()
+        txn.put(key, b"v")
+        shard.call = eat_reply
+        txn.commit()  # the first attempt committed; only the reply died
+        assert router.get(key) == b"v"
+        router.close()
+
+    def test_crash_that_eats_delete_reply_reports_truthfully(self):
+        from repro.errors import SystemFailure
+
+        # Regression: the blind retry re-executed the delete against
+        # the already-deleted key and reported False for a delete that
+        # durably removed the key.
+        router = make_router()
+        key = b"del-key"
+        router.put(key, b"v")
+        idx = router.shard_of(key)
+        shard = router.shards[idx]
+        real_call = shard.call
+
+        def eat_reply(command):
+            result = real_call(command)
+            if command[0] == "delete":
+                shard.call = real_call
+                shard.worker.execute(("crash",))
+                raise SystemFailure("reply lost in crash")
+            return result
+
+        shard.call = eat_reply
+        assert router.delete(key) is True
+        assert router.get(key) is None
+        router.close()
+
+    def test_shard_chaos_locks_drain_after_heal(self):
+        # Fleet-wide lock-leak oracle in miniature: partition a shard
+        # mid-transaction, abort, heal — every lock must drain.
+        router = make_router()
+        keys = cross_shard_keys(router, 3)
+        txn = router.txn()
+        for key in keys:
+            txn.put(key, b"x")
+        victim = router.shard_of(keys[2])
+        router.shards[victim].partitioned = True
+        txn.abort()
+        router.shards[victim].partitioned = False
+        for i in range(router.config.n_shards):
+            assert router._call(i, "locks") == []
+        router.close()
+
     def test_reopen_resolves_from_decision_log(self):
         router = make_router()
         keys = cross_shard_keys(router, 2)
